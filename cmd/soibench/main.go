@@ -1,0 +1,127 @@
+// Command soibench regenerates every table and figure of the paper's
+// evaluation (Section 7) as text tables.
+//
+// Usage:
+//
+//	soibench [-experiment all|table1|fig5|fig6|fig7|fig8|fig9|snr|measured|
+//	          ablate-beta|ablate-window|ablate-segments|ablate-opcount]
+//	         [-points-per-node N] [-go-rates] [-measure-points N]
+//
+// Compute rates default to the paper's node (Table 1 hardware at the
+// Section 7.4 efficiencies); -go-rates calibrates this machine's Go
+// kernels instead. Wire times always come from the interconnect models in
+// internal/netsim.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"soifft/internal/bench"
+	"soifft/internal/netsim"
+)
+
+func main() {
+	exp := flag.String("experiment", "all", "which experiment to run")
+	ppn := flag.Int64("points-per-node", 1<<28, "weak-scaling points per node for the models")
+	goRates := flag.Bool("go-rates", false, "calibrate compute rates from this machine's Go kernels instead of the paper's node")
+	asCSV := flag.Bool("csv", false, "emit tables as CSV instead of aligned text")
+	measureN := flag.Int("measure-points", 1<<18, "points per rank for the real in-process runs")
+	flag.Parse()
+
+	cfg, err := bench.DefaultConfig()
+	if err != nil {
+		fail(err)
+	}
+	cfg.PointsPerNode = *ppn
+	if *goRates {
+		cal, err := bench.Calibrate(1 << 20)
+		if err != nil {
+			fail(err)
+		}
+		cfg.Cal = cal
+		fmt.Printf("calibrated Go rates: FFT %.2f GF/s, conv %.2f GF/s (measured at N=%d)\n",
+			cal.FFTFlopsPerSec/1e9, cal.ConvFlopsPerSec/1e9, cal.MeasureN)
+	} else {
+		fmt.Println("compute rates: paper node (330 GF peak; FFT 10%, conv 40% of peak, Section 7.4)")
+	}
+
+	emit := func(t *bench.Table) {
+		if *asCSV {
+			t.FprintCSV(os.Stdout)
+			return
+		}
+		t.Fprint(os.Stdout)
+	}
+	run := func(name string) {
+		switch name {
+		case "table1":
+			emit(bench.Table1())
+		case "fig5":
+			emit(bench.Fig5(cfg))
+		case "fig6":
+			emit(bench.Fig6(cfg))
+		case "fig7":
+			must(bench.Fig7(cfg)).Fprint(os.Stdout)
+		case "fig8":
+			emit(bench.Fig8(cfg))
+		case "fig9":
+			emit(bench.Fig9(cfg))
+		case "snr":
+			emit(must(bench.SNRTable(cfg)))
+		case "measured":
+			emit(must(bench.MeasuredWeakScaling(*measureN, []int{1, 2, 4, 8}, 72)))
+		case "ablate-beta":
+			emit(bench.AblateBeta(cfg))
+		case "ablate-window":
+			emit(must(bench.AblateWindow(cfg)))
+		case "ablate-segments":
+			emit(must(bench.AblateSegments(*measureN, 4, 48)))
+		case "ablate-opcount":
+			emit(must(bench.AblateOpcount(cfg)))
+		case "app-conv":
+			emit(must(bench.AppConvolution(cfg, *measureN*4, 4)))
+		case "ablate-workers":
+			emit(must(bench.AblateWorkers(*measureN*4, 72)))
+		case "ablate-scaling":
+			emit(must(bench.AblateScaling(72)))
+		case "ablate-precision":
+			emit(bench.AblatePrecision(cfg))
+		case "timeline":
+			bench.Timeline(os.Stdout, cfg, netsim.Gordon(), 64)
+		case "strong-scaling":
+			emit(bench.StrongScaling(cfg, (*ppn)*16))
+		case "modern-fabric":
+			emit(bench.ModernFabric(cfg))
+		default:
+			fail(fmt.Errorf("unknown experiment %q", name))
+		}
+	}
+
+	if *exp == "all" {
+		for _, name := range []string{
+			"table1", "fig5", "fig6", "fig7", "fig8", "fig9", "snr",
+			"measured", "app-conv", "timeline", "strong-scaling",
+			"modern-fabric", "ablate-beta", "ablate-window",
+			"ablate-segments", "ablate-opcount", "ablate-workers",
+			"ablate-scaling", "ablate-precision",
+		} {
+			run(name)
+		}
+		return
+	}
+	run(*exp)
+}
+
+func must(t *bench.Table, err error) *bench.Table {
+	if err != nil {
+		fail(err)
+	}
+	return t
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "soibench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,86 @@
+// Cluster: run the same transform distributed over simulated ranks with
+// the SOI algorithm and with a conventional triple-all-to-all algorithm,
+// and compare their communication profiles — the heart of the paper.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"soifft"
+	"soifft/internal/baseline"
+	"soifft/internal/fft"
+	"soifft/internal/mpi"
+	"soifft/internal/netsim"
+	"soifft/internal/signal"
+)
+
+const (
+	n     = 1 << 18
+	ranks = 8
+)
+
+func main() {
+	src := signal.Random(n, 7)
+	ref, err := fft.Forward(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// --- SOI: one all-to-all ---
+	plan, err := soifft.NewPlan(n, soifft.WithSegments(ranks))
+	if err != nil {
+		log.Fatal(err)
+	}
+	world, err := soifft.NewWorld(ranks)
+	if err != nil {
+		log.Fatal(err)
+	}
+	soi := make([]complex128, n)
+	t0 := time.Now()
+	if err := plan.TransformDistributed(world, soi, src); err != nil {
+		log.Fatal(err)
+	}
+	soiWall := time.Since(t0)
+	soiStats := world.Stats()
+
+	// --- six-step: three all-to-alls ---
+	six := make([]complex128, n)
+	w2, err := mpi.NewWorld(ranks)
+	if err != nil {
+		log.Fatal(err)
+	}
+	nLocal := n / ranks
+	t0 = time.Now()
+	err = w2.Run(func(c *mpi.Comm) error {
+		_, err := baseline.SixStep{}.Transform(c,
+			six[c.Rank()*nLocal:(c.Rank()+1)*nLocal],
+			src[c.Rank()*nLocal:(c.Rank()+1)*nLocal], n)
+		return err
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sixWall := time.Since(t0)
+	sixStats := w2.Stats()
+
+	fmt.Printf("N = %d over %d ranks\n\n", n, ranks)
+	fmt.Printf("%-10s %8s %12s %14s %12s\n", "algorithm", "a2a", "a2a volume", "rel err", "wall (local)")
+	fmt.Printf("%-10s %8d %9.1f MB %14.1e %12v\n",
+		"SOI", soiStats.Alltoalls, float64(soiStats.AlltoallBytes)/1e6,
+		signal.RelErrL2(soi, ref), soiWall)
+	fmt.Printf("%-10s %8d %9.1f MB %14.1e %12v\n",
+		"six-step", sixStats.Alltoalls, float64(sixStats.AlltoallBytes)/1e6,
+		signal.RelErrL2(six, ref), sixWall)
+
+	// What those exchange patterns would cost on the paper's fabrics.
+	fmt.Println("\nmodeled wire time for this exchange pattern at 2^28 points/node, 64 nodes:")
+	bytesPerNode := int64(1<<28) * 16
+	for _, fab := range []netsim.Fabric{netsim.Endeavor(), netsim.Gordon(), netsim.TenGigE()} {
+		one := fab.AlltoallTime(64, bytesPerNode*5/4)
+		three := 3 * fab.AlltoallTime(64, bytesPerNode)
+		fmt.Printf("  %-20s SOI %8.2fs   triple-a2a %8.2fs   ratio %.2fx\n",
+			fab.Name(), one.Seconds(), three.Seconds(), three.Seconds()/one.Seconds())
+	}
+}

@@ -1,0 +1,63 @@
+// Convolution: distributed FFT-based filtering, the use case the paper's
+// introduction motivates. With a cached filter spectrum, SOI needs two
+// all-to-alls per convolution where the conventional in-order pair needs
+// six — the low-communication saving compounds when transforms chain.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/cmplx"
+
+	"soifft"
+	"soifft/internal/signal"
+)
+
+func main() {
+	const (
+		n     = 1 << 16
+		ranks = 8
+	)
+	// Signal: tones plus noise; filter: a 65-tap smoothing kernel.
+	src := signal.NoisyTones(n, []int{300, 5000}, []complex128{1, 1}, 0.3, 7)
+	h := make([]complex128, n)
+	for i := -32; i <= 32; i++ {
+		h[(i+n)%n] = complex(1.0/65, 0)
+	}
+
+	plan, err := soifft.NewPlan(n, soifft.WithSegments(ranks))
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec, err := soifft.FilterSpectrum(h)
+	if err != nil {
+		log.Fatal(err)
+	}
+	world, err := soifft.NewWorld(ranks)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	out := make([]complex128, n)
+	if err := plan.Convolve(world, out, src, spec); err != nil {
+		log.Fatal(err)
+	}
+	st := world.Stats()
+	fmt.Printf("convolved %d points over %d ranks: %d all-to-alls, %.1f MB exchanged\n",
+		n, ranks, st.Alltoalls, float64(st.AlltoallBytes)/1e6)
+	fmt.Println("(a conventional in-order distributed FFT pair would need 6 all-to-alls)")
+
+	// Verify against a serial FFT convolution.
+	f, _ := soifft.FFT(src)
+	for i := range f {
+		f[i] *= spec[i]
+	}
+	want, _ := soifft.IFFT(f)
+	var maxErr float64
+	for i := range out {
+		if d := cmplx.Abs(out[i] - want[i]); d > maxErr {
+			maxErr = d
+		}
+	}
+	fmt.Printf("max abs deviation from serial FFT convolution: %.2e\n", maxErr)
+}

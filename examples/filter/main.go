@@ -1,0 +1,55 @@
+// Filter: denoise a real-valued signal with the library's real-input FFT
+// (half-spectrum) — zero out the bins above a cutoff and invert. Shows
+// the conventional-FFT side of the library that the SOI machinery builds
+// on.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"soifft/internal/fft"
+)
+
+func main() {
+	const (
+		n      = 1 << 14
+		cutoff = 200 // keep bins 0..cutoff
+	)
+	// Clean signal: two low-frequency sinusoids.
+	rng := rand.New(rand.NewSource(9))
+	clean := make([]float64, n)
+	noisy := make([]float64, n)
+	for j := 0; j < n; j++ {
+		t := float64(j) / n
+		clean[j] = math.Sin(2*math.Pi*50*t) + 0.5*math.Sin(2*math.Pi*120*t)
+		noisy[j] = clean[j] + 0.8*rng.NormFloat64()
+	}
+
+	plan, err := fft.NewRealPlan(n)
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec := make([]complex128, n/2+1)
+	plan.Forward(spec, noisy)
+	for k := cutoff + 1; k <= n/2; k++ {
+		spec[k] = 0
+	}
+	filtered := make([]float64, n)
+	plan.Inverse(filtered, spec)
+
+	fmt.Printf("low-pass filter at bin %d over %d samples\n", cutoff, n)
+	fmt.Printf("rms error vs clean signal: before %.3f, after %.3f\n",
+		rms(noisy, clean), rms(filtered, clean))
+}
+
+func rms(got, want []float64) float64 {
+	var acc float64
+	for i := range got {
+		d := got[i] - want[i]
+		acc += d * d
+	}
+	return math.Sqrt(acc / float64(len(got)))
+}

@@ -1,0 +1,150 @@
+// Iterative: the paper's Section 7.3 argument in action — "in the
+// context of iterative algorithms where FFT is computed in an inner
+// loop, full accuracy is typically unnecessary until very late in the
+// iterative process."
+//
+// We solve a 1-D periodic Poisson problem  u” = f  by preconditioned
+// Richardson iteration whose inner step applies the inverse Laplacian
+// spectrally (forward FFT, divide by -(2πk/N)², inverse FFT). Early
+// sweeps run on the cheapest SOI rung; once the residual approaches the
+// transform's accuracy floor, the solver switches to the full-accuracy
+// plan and finishes to near machine precision. A cluster would bank the
+// ~2x speedup on every early sweep (paper Fig 7).
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"soifft"
+	"soifft/internal/signal"
+)
+
+const n = 1 << 14
+
+func main() {
+	// Right-hand side with zero mean (solvability on the torus).
+	f := signal.Tones(n, []int{3, 40, 1000}, []complex128{1, 0.25i, 0.1})
+
+	fast, err := soifft.NewPlan(n, soifft.WithAccuracy(soifft.Accuracy200dB))
+	if err != nil {
+		log.Fatal(err)
+	}
+	full, err := soifft.NewPlan(n, soifft.WithAccuracy(soifft.AccuracyFull))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("solver plans: fast B=%d (~%.0f digits), full B=%d (~%.0f digits)\n",
+		fast.Taps(), fast.PredictedDigits(), full.Taps(), full.PredictedDigits())
+
+	u := make([]complex128, n)
+	res := make([]complex128, n)
+	plan := fast
+	planName := "fast"
+	switched := 0
+	for it := 1; it <= 40; it++ {
+		// Residual r = f − u'' (second difference via spectral derivative
+		// would hide the point; use the same inverse-Laplacian map).
+		laplace(u, res)
+		for i := range res {
+			res[i] = f[i] - res[i]
+		}
+		rn := norm(res)
+		if it == 1 || it%4 == 0 || rn < 1e-12 {
+			fmt.Printf("  iter %2d [%4s plan]  residual %.2e\n", it, planName, rn)
+		}
+		if rn < 1e-4 && plan == fast {
+			plan, planName = full, "full"
+			switched = it
+			fmt.Printf("  -> residual at the fast plan's accuracy floor; switching to full accuracy\n")
+		}
+		// The *evaluated* residual floors near 1e-7: u's low-frequency
+		// components are ~1e10, so u'' = f is recovered through that much
+		// cancellation. The solution itself converges far below (checked
+		// against the exact spectral solve at the end).
+		if rn < 2e-7 && plan == full && it > switched+2 {
+			fmt.Printf("converged at iteration %d (switched to full accuracy at %d)\n", it, switched)
+			break
+		}
+		// u += InverseLaplacian(res), applied spectrally with the current
+		// SOI plan pair.
+		spec := make([]complex128, n)
+		if err := plan.Transform(spec, res); err != nil {
+			log.Fatal(err)
+		}
+		for k := 1; k < n; k++ {
+			kk := k
+			if kk > n/2 {
+				kk = n - kk
+			}
+			w := 2 * math.Pi * float64(kk) / float64(n)
+			spec[k] /= complex(-w*w, 0)
+		}
+		spec[0] = 0
+		delta := make([]complex128, n)
+		if err := plan.Inverse(delta, spec); err != nil {
+			log.Fatal(err)
+		}
+		// Under-relaxed update keeps several sweeps in play so the
+		// precision switch actually matters.
+		for i := range u {
+			u[i] += 0.9 * delta[i]
+		}
+	}
+
+	// Verify against the exact spectral solution.
+	exact := exactSolution(f)
+	fmt.Printf("solution error vs exact spectral solve: %.2e\n",
+		signal.RelErrL2(u, exact))
+}
+
+// laplace applies u” spectrally at full accuracy (the "operator").
+func laplace(u, out []complex128) {
+	spec, err := soifft.FFT(u)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for k := range spec {
+		kk := k
+		if kk > n/2 {
+			kk = n - kk
+		}
+		w := 2 * math.Pi * float64(kk) / float64(n)
+		spec[k] *= complex(-w*w, 0)
+	}
+	back, err := soifft.IFFT(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	copy(out, back)
+}
+
+func exactSolution(f []complex128) []complex128 {
+	spec, err := soifft.FFT(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for k := 1; k < n; k++ {
+		kk := k
+		if kk > n/2 {
+			kk = n - kk
+		}
+		w := 2 * math.Pi * float64(kk) / float64(n)
+		spec[k] /= complex(-w*w, 0)
+	}
+	spec[0] = 0
+	out, err := soifft.IFFT(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return out
+}
+
+func norm(x []complex128) float64 {
+	var acc float64
+	for _, v := range x {
+		acc += real(v)*real(v) + imag(v)*imag(v)
+	}
+	return math.Sqrt(acc)
+}

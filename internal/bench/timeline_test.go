@@ -1,0 +1,38 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"soifft/internal/netsim"
+)
+
+func TestTimelineOutput(t *testing.T) {
+	cfg := testConfig(t)
+	var sb strings.Builder
+	Timeline(&sb, cfg, netsim.Gordon(), 64)
+	out := sb.String()
+	for _, want := range []string{
+		"Triple-all-to-all", "SOI (single all-to-all)",
+		"all-to-all", "convolution+F_P", "segment FFTs", "speedup",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("timeline missing %q", want)
+		}
+	}
+	// The conventional chart must show three exchange bursts per rank:
+	// each rank row alternates exchange/compute three times. Count 'rank'
+	// rows: 4 per chart × 2 charts.
+	if got := strings.Count(out, "rank "); got != 8 {
+		t.Errorf("expected 8 rank rows, got %d", got)
+	}
+}
+
+func TestTimelineSmallNodeCount(t *testing.T) {
+	cfg := testConfig(t)
+	var sb strings.Builder
+	Timeline(&sb, cfg, netsim.Endeavor(), 2) // fewer lanes than the cap
+	if strings.Count(sb.String(), "rank ") != 4 {
+		t.Errorf("2-node timeline should show 2 lanes per chart:\n%s", sb.String())
+	}
+}

@@ -1,0 +1,237 @@
+// Package conv implements distributed cyclic convolution, the
+// application the paper's introduction singles out: "the numbers of
+// global transposes can be reduced if out-of-order data can be
+// accommodated such as when FFT is used to compute a convolution".
+//
+// Three strategies over block-distributed data, with a cached filter
+// spectrum (the steady-state case of repeated filtering):
+//
+//   - InOrder: conventional six-step FFT → pointwise → six-step inverse:
+//     3 + 3 = 6 all-to-alls of N points each.
+//   - OutOfOrder: six-step forward *without* the final output transpose,
+//     pointwise multiply in the transposed layout, inverse that starts
+//     from that layout: 2 + 2 = 4 all-to-alls.
+//   - SOI: forward SOI → pointwise → inverse SOI: 1 + 1 = 2 all-to-alls
+//     of (1+β)N points — the low-communication framework compounds when
+//     transforms are chained.
+package conv
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"soifft/internal/baseline"
+	"soifft/internal/core"
+	"soifft/internal/fft"
+	"soifft/internal/mpi"
+)
+
+// SOI performs localOut = IDFT(DFT(x)·filterSpec) with two SOI passes.
+// filterSpecLocal is this rank's natural-order block of the filter's
+// spectrum (length N/R), typically computed once and cached.
+func SOI(c *mpi.Comm, pl *core.Plan, localOut, localX, filterSpecLocal []complex128) error {
+	spec := make([]complex128, len(localX))
+	if _, err := pl.RunDistributed(c, spec, localX); err != nil {
+		return err
+	}
+	for i := range spec {
+		spec[i] *= filterSpecLocal[i]
+	}
+	_, err := pl.RunDistributedInverse(c, localOut, spec)
+	return err
+}
+
+// InOrder performs the same convolution with the conventional in-order
+// transpose algorithm on both sides (6 exchanges).
+func InOrder(c *mpi.Comm, localOut, localX, filterSpecLocal []complex128, n int) error {
+	alg := baseline.SixStep{}
+	spec := make([]complex128, len(localX))
+	if _, err := alg.Transform(c, spec, localX, n); err != nil {
+		return err
+	}
+	for i := range spec {
+		spec[i] *= filterSpecLocal[i]
+	}
+	// Inverse via the conjugation identity; scaling is local.
+	conjInPlace(spec)
+	if _, err := alg.Transform(c, localOut, spec, n); err != nil {
+		return err
+	}
+	inv := 1 / float64(n)
+	for i, v := range localOut {
+		localOut[i] = complex(real(v)*inv, -imag(v)*inv)
+	}
+	return nil
+}
+
+// OutOfOrder is a distributed FFT pair that stops short of natural
+// order: Forward leaves the spectrum in the transposed n1×n2 layout
+// (2 exchanges), Inverse starts from it (2 exchanges). Pointwise
+// operations between the two are layout-agnostic as long as both
+// operands use the same layout (use ForwardSpectrum for the filter).
+type OutOfOrder struct {
+	N1, N2 int // N = N1·N2, both divisible by the rank count
+}
+
+// PlanOutOfOrder chooses a square-ish split for n on r ranks.
+func PlanOutOfOrder(n, r int) (OutOfOrder, error) {
+	best := -1
+	for n1 := r; n1*n1 <= n*r; n1++ {
+		if n%n1 != 0 {
+			continue
+		}
+		n2 := n / n1
+		if n1%r != 0 || n2%r != 0 {
+			continue
+		}
+		if best == -1 || absInt(n1*n1-n) < absInt(best*best-n) {
+			best = n1
+		}
+	}
+	if best == -1 {
+		return OutOfOrder{}, fmt.Errorf("conv: no N1·N2 split of %d for %d ranks", n, r)
+	}
+	return OutOfOrder{N1: best, N2: n / best}, nil
+}
+
+func absInt(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// Forward computes the spectrum of localIn in the transposed layout:
+// the returned slice is this rank's rows of the n1×n2 matrix
+// Z[k1][j2→k2], i.e. Z[k1][k2] = y[k2·N1 + k1]. Two exchanges.
+func (o OutOfOrder) Forward(c *mpi.Comm, localIn []complex128) ([]complex128, error) {
+	r := c.Size()
+	n := o.N1 * o.N2
+	rn2 := o.N2 / r
+	// Steps 1-5 of the six-step algorithm (see baseline.SixStep), minus
+	// the final transpose.
+	a, err := distTransposeHere(c, localIn, o.N1, o.N2)
+	if err != nil {
+		return nil, err
+	}
+	p1, err := fft.CachedPlan(o.N1)
+	if err != nil {
+		return nil, err
+	}
+	p1.Batch(a, a, rn2)
+	base := c.Rank() * rn2
+	for j2 := 0; j2 < rn2; j2++ {
+		g := float64(base + j2)
+		row := a[j2*o.N1 : (j2+1)*o.N1]
+		for k1 := 1; k1 < o.N1; k1++ {
+			ang := -2 * math.Pi * g * float64(k1) / float64(n)
+			row[k1] *= cmplx.Exp(complex(0, ang))
+		}
+	}
+	b, err := distTransposeHere(c, a, o.N2, o.N1)
+	if err != nil {
+		return nil, err
+	}
+	p2, err := fft.CachedPlan(o.N2)
+	if err != nil {
+		return nil, err
+	}
+	p2.Batch(b, b, o.N1/r)
+	return b, nil
+}
+
+// Inverse reconstructs the natural-order block-distributed sequence from
+// a transposed-layout spectrum. Two exchanges.
+func (o OutOfOrder) Inverse(c *mpi.Comm, localZ []complex128) ([]complex128, error) {
+	r := c.Size()
+	n := o.N1 * o.N2
+	rn1 := o.N1 / r
+	// Undo step 5: inverse row FFTs of length n2 (local).
+	p2, err := fft.CachedPlan(o.N2)
+	if err != nil {
+		return nil, err
+	}
+	z := append([]complex128(nil), localZ...)
+	p2.InverseBatch(z, z, rn1)
+	// Undo step 4: transpose back to the n2×n1 view.
+	a, err := distTransposeHere(c, z, o.N1, o.N2)
+	if err != nil {
+		return nil, err
+	}
+	// Undo step 3: conjugate twiddles.
+	rn2 := o.N2 / r
+	base := c.Rank() * rn2
+	for j2 := 0; j2 < rn2; j2++ {
+		g := float64(base + j2)
+		row := a[j2*o.N1 : (j2+1)*o.N1]
+		for k1 := 1; k1 < o.N1; k1++ {
+			ang := 2 * math.Pi * g * float64(k1) / float64(n)
+			row[k1] *= cmplx.Exp(complex(0, ang))
+		}
+	}
+	// Undo step 2: inverse FFTs of length n1 (local rows).
+	p1, err := fft.CachedPlan(o.N1)
+	if err != nil {
+		return nil, err
+	}
+	p1.InverseBatch(a, a, rn2)
+	// Undo step 1: transpose back to natural order.
+	return distTransposeHere(c, a, o.N2, o.N1)
+}
+
+// Convolve runs the 4-exchange out-of-order convolution; filterSpecT is
+// the filter spectrum in the same transposed layout (from Forward).
+func (o OutOfOrder) Convolve(c *mpi.Comm, localOut, localX, filterSpecT []complex128) error {
+	spec, err := o.Forward(c, localX)
+	if err != nil {
+		return err
+	}
+	for i := range spec {
+		spec[i] *= filterSpecT[i]
+	}
+	back, err := o.Inverse(c, spec)
+	if err != nil {
+		return err
+	}
+	copy(localOut, back)
+	return nil
+}
+
+func conjInPlace(x []complex128) {
+	for i, v := range x {
+		x[i] = cmplx.Conj(v)
+	}
+}
+
+// distTransposeHere mirrors baseline's global transpose (kept local to
+// avoid exporting an internal detail from that package).
+func distTransposeHere(c *mpi.Comm, local []complex128, n1, n2 int) ([]complex128, error) {
+	r := c.Size()
+	if n1%r != 0 || n2%r != 0 {
+		return nil, fmt.Errorf("conv: transpose dims %dx%d not divisible by ranks %d", n1, n2, r)
+	}
+	rn1, rn2 := n1/r, n2/r
+	if len(local) != rn1*n2 {
+		return nil, fmt.Errorf("conv: transpose local length %d, want %d", len(local), rn1*n2)
+	}
+	send := make([]complex128, rn1*n2)
+	for t := 0; t < r; t++ {
+		base := t * rn1 * rn2
+		for j2 := 0; j2 < rn2; j2++ {
+			col := t*rn2 + j2
+			for j1 := 0; j1 < rn1; j1++ {
+				send[base+j2*rn1+j1] = local[j1*n2+col]
+			}
+		}
+	}
+	recv := c.Alltoall(send, rn1*rn2)
+	out := make([]complex128, rn2*n1)
+	for src := 0; src < r; src++ {
+		chunk := recv[src*rn1*rn2 : (src+1)*rn1*rn2]
+		for j2 := 0; j2 < rn2; j2++ {
+			copy(out[j2*n1+src*rn1:j2*n1+(src+1)*rn1], chunk[j2*rn1:(j2+1)*rn1])
+		}
+	}
+	return out, nil
+}

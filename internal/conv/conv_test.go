@@ -1,0 +1,283 @@
+package conv
+
+import (
+	"testing"
+
+	"soifft/internal/core"
+	"soifft/internal/fft"
+	"soifft/internal/mpi"
+	"soifft/internal/signal"
+)
+
+// directCyclic is the O(N²) convolution reference.
+func directCyclic(x, h []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	for i := 0; i < n; i++ {
+		var acc complex128
+		for j := 0; j < n; j++ {
+			acc += x[j] * h[(i-j+n)%n]
+		}
+		out[i] = acc
+	}
+	return out
+}
+
+// setup builds an input, filter, filter spectrum (natural order) and the
+// direct-convolution reference.
+func setup(n int, seed int64) (x, h, spec, want []complex128) {
+	x = signal.Random(n, seed)
+	h = signal.Random(n, seed+1)
+	var err error
+	spec, err = fft.Forward(h)
+	if err != nil {
+		panic(err)
+	}
+	want = directCyclic(x, h)
+	return
+}
+
+func TestSOIConvolutionMatchesDirect(t *testing.T) {
+	const n, r = 1024, 4
+	x, _, spec, want := setup(n, 3)
+	pl, err := core.NewPlan(core.Params{N: n, P: 8, Mu: 5, Nu: 4, B: 48})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]complex128, n)
+	w, _ := mpi.NewWorld(r)
+	nLocal := n / r
+	err = w.Run(func(c *mpi.Comm) error {
+		return SOI(c,
+			pl,
+			got[c.Rank()*nLocal:(c.Rank()+1)*nLocal],
+			x[c.Rank()*nLocal:(c.Rank()+1)*nLocal],
+			spec[c.Rank()*nLocal:(c.Rank()+1)*nLocal])
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := signal.RelErrL2(got, want); e > 1e-9 {
+		t.Errorf("SOI convolution rel err %.3e", e)
+	}
+	if a := w.Stats().Alltoalls; a != 2 {
+		t.Errorf("SOI convolution used %d all-to-alls, want 2", a)
+	}
+}
+
+func TestInOrderConvolutionMatchesDirect(t *testing.T) {
+	const n, r = 1024, 4
+	x, _, spec, want := setup(n, 4)
+	got := make([]complex128, n)
+	w, _ := mpi.NewWorld(r)
+	nLocal := n / r
+	err := w.Run(func(c *mpi.Comm) error {
+		return InOrder(c,
+			got[c.Rank()*nLocal:(c.Rank()+1)*nLocal],
+			x[c.Rank()*nLocal:(c.Rank()+1)*nLocal],
+			spec[c.Rank()*nLocal:(c.Rank()+1)*nLocal], n)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := signal.RelErrL2(got, want); e > 1e-10 {
+		t.Errorf("in-order convolution rel err %.3e", e)
+	}
+	if a := w.Stats().Alltoalls; a != 6 {
+		t.Errorf("in-order convolution used %d all-to-alls, want 6", a)
+	}
+}
+
+func TestOutOfOrderRoundTrip(t *testing.T) {
+	const n, r = 1024, 4
+	o, err := PlanOutOfOrder(n, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.N1*o.N2 != n {
+		t.Fatalf("bad split %dx%d", o.N1, o.N2)
+	}
+	x := signal.Random(n, 5)
+	back := make([]complex128, n)
+	w, _ := mpi.NewWorld(r)
+	nLocal := n / r
+	err = w.Run(func(c *mpi.Comm) error {
+		spec, err := o.Forward(c, x[c.Rank()*nLocal:(c.Rank()+1)*nLocal])
+		if err != nil {
+			return err
+		}
+		inv, err := o.Inverse(c, spec)
+		if err != nil {
+			return err
+		}
+		copy(back[c.Rank()*nLocal:(c.Rank()+1)*nLocal], inv)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := signal.MaxAbsErr(back, x); e > 1e-11 {
+		t.Errorf("out-of-order round trip error %.3e", e)
+	}
+}
+
+func TestOutOfOrderSpectrumLayout(t *testing.T) {
+	// Forward's output must be the natural spectrum permuted to the
+	// transposed layout: Z[k1][k2] = y[k2*N1 + k1].
+	const n, r = 256, 2
+	o, err := PlanOutOfOrder(n, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := signal.Random(n, 6)
+	y, err := fft.Forward(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, _ := mpi.NewWorld(r)
+	nLocal := n / r
+	err = w.Run(func(c *mpi.Comm) error {
+		spec, err := o.Forward(c, x[c.Rank()*nLocal:(c.Rank()+1)*nLocal])
+		if err != nil {
+			return err
+		}
+		rn1 := o.N1 / r
+		for k1loc := 0; k1loc < rn1; k1loc++ {
+			k1 := c.Rank()*rn1 + k1loc
+			for k2 := 0; k2 < o.N2; k2++ {
+				got := spec[k1loc*o.N2+k2]
+				want := y[k2*o.N1+k1]
+				if d := got - want; real(d)*real(d)+imag(d)*imag(d) > 1e-18 {
+					t.Errorf("Z[%d][%d] = %v, want y[%d] = %v", k1, k2, got, k2*o.N1+k1, want)
+					return nil
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOutOfOrderConvolutionMatchesDirect(t *testing.T) {
+	const n, r = 1024, 4
+	x, h, _, want := setup(n, 7)
+	o, err := PlanOutOfOrder(n, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]complex128, n)
+	w, _ := mpi.NewWorld(r)
+	nLocal := n / r
+	err = w.Run(func(c *mpi.Comm) error {
+		// Filter spectrum in the transposed layout, computed once.
+		hs, err := o.Forward(c, h[c.Rank()*nLocal:(c.Rank()+1)*nLocal])
+		if err != nil {
+			return err
+		}
+		return o.Convolve(c,
+			got[c.Rank()*nLocal:(c.Rank()+1)*nLocal],
+			x[c.Rank()*nLocal:(c.Rank()+1)*nLocal], hs)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := signal.RelErrL2(got, want); e > 1e-10 {
+		t.Errorf("out-of-order convolution rel err %.3e", e)
+	}
+	// 2 for the filter spectrum + 4 for the convolution.
+	if a := w.Stats().Alltoalls; a != 6 {
+		t.Errorf("total all-to-alls %d, want 6 (2 filter + 4 convolve)", a)
+	}
+}
+
+func TestExchangeLadder(t *testing.T) {
+	// The headline of this package: steady-state exchanges per
+	// convolution are 2 (SOI) < 4 (out-of-order) < 6 (in-order).
+	const n, r = 1024, 4
+	x, _, spec, _ := setup(n, 8)
+	nLocal := n / r
+
+	pl, err := core.NewPlan(core.Params{N: n, P: 8, Mu: 5, Nu: 4, B: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int64{}
+
+	wSOI, _ := mpi.NewWorld(r)
+	out := make([]complex128, n)
+	if err := wSOI.Run(func(c *mpi.Comm) error {
+		return SOI(c, pl, out[c.Rank()*nLocal:(c.Rank()+1)*nLocal],
+			x[c.Rank()*nLocal:(c.Rank()+1)*nLocal],
+			spec[c.Rank()*nLocal:(c.Rank()+1)*nLocal])
+	}); err != nil {
+		t.Fatal(err)
+	}
+	counts["soi"] = wSOI.Stats().Alltoalls
+
+	o, _ := PlanOutOfOrder(n, r)
+	hsT := make([][]complex128, r)
+	wPre, _ := mpi.NewWorld(r)
+	if err := wPre.Run(func(c *mpi.Comm) error {
+		hs, err := o.Forward(c, spec[c.Rank()*nLocal:(c.Rank()+1)*nLocal])
+		hsT[c.Rank()] = hs
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	wOOO, _ := mpi.NewWorld(r)
+	if err := wOOO.Run(func(c *mpi.Comm) error {
+		return o.Convolve(c, out[c.Rank()*nLocal:(c.Rank()+1)*nLocal],
+			x[c.Rank()*nLocal:(c.Rank()+1)*nLocal], hsT[c.Rank()])
+	}); err != nil {
+		t.Fatal(err)
+	}
+	counts["ooo"] = wOOO.Stats().Alltoalls
+
+	wIn, _ := mpi.NewWorld(r)
+	if err := wIn.Run(func(c *mpi.Comm) error {
+		return InOrder(c, out[c.Rank()*nLocal:(c.Rank()+1)*nLocal],
+			x[c.Rank()*nLocal:(c.Rank()+1)*nLocal],
+			spec[c.Rank()*nLocal:(c.Rank()+1)*nLocal], n)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	counts["inorder"] = wIn.Stats().Alltoalls
+
+	if counts["soi"] != 2 || counts["ooo"] != 4 || counts["inorder"] != 6 {
+		t.Errorf("exchange ladder = %v, want soi:2 ooo:4 inorder:6", counts)
+	}
+}
+
+func TestPlanOutOfOrderErrors(t *testing.T) {
+	if _, err := PlanOutOfOrder(30, 4); err == nil {
+		t.Error("expected split error")
+	}
+}
+
+func TestConvErrorPaths(t *testing.T) {
+	// SOI convolution must surface distributed-validation errors.
+	pl, err := core.NewPlan(core.Params{N: 256, P: 4, Mu: 5, Nu: 4, B: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, _ := mpi.NewWorld(3) // 3 does not divide P=4
+	err = w.Run(func(c *mpi.Comm) error {
+		buf := make([]complex128, 256/3+1)
+		return SOI(c, pl, buf, buf, buf)
+	})
+	if err == nil {
+		t.Error("expected rank-divisibility error")
+	}
+	// Out-of-order transform shape errors.
+	o := OutOfOrder{N1: 16, N2: 16}
+	w2, _ := mpi.NewWorld(3)
+	err = w2.Run(func(c *mpi.Comm) error {
+		_, err := o.Forward(c, make([]complex128, 256/3))
+		return err
+	})
+	if err == nil {
+		t.Error("expected transpose divisibility error")
+	}
+}

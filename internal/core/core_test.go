@@ -1,0 +1,394 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"soifft/internal/fft"
+	"soifft/internal/signal"
+	"soifft/internal/window"
+)
+
+// soiVsDirect runs the SOI transform and returns the relative L2 error
+// against the O(N²) direct DFT.
+func soiVsDirect(t *testing.T, p Params, seed int64) float64 {
+	t.Helper()
+	pl, err := NewPlan(p)
+	if err != nil {
+		t.Fatalf("NewPlan(%+v): %v", p, err)
+	}
+	src := signal.Random(p.N, seed)
+	want := make([]complex128, p.N)
+	fft.Direct(want, src)
+	got := make([]complex128, p.N)
+	if err := pl.Transform(got, src); err != nil {
+		t.Fatalf("Transform: %v", err)
+	}
+	return signal.RelErrL2(got, want)
+}
+
+func TestSOIMatchesDirectSmall(t *testing.T) {
+	// Moderate taps on a small problem: expect ~12+ digits.
+	p := Params{N: 256, P: 4, Mu: 5, Nu: 4, B: 48}
+	if e := soiVsDirect(t, p, 1); e > 1e-11 {
+		t.Errorf("relative error %.3e, want < 1e-11", e)
+	}
+}
+
+func TestSOIFullAccuracy(t *testing.T) {
+	// The paper's full-accuracy configuration: B = 72, β = 1/4. Expect
+	// ~14 digits (SNR ≈ 290 dB when averaged over spectra).
+	p := Params{N: 1024, P: 8, Mu: 5, Nu: 4, B: 72}
+	if e := soiVsDirect(t, p, 2); e > 5e-13 {
+		t.Errorf("relative error %.3e, want < 5e-13", e)
+	}
+}
+
+func TestSOIAcrossShapes(t *testing.T) {
+	cases := []Params{
+		{N: 64, P: 1, Mu: 5, Nu: 4, B: 32},    // single segment
+		{N: 128, P: 2, Mu: 5, Nu: 4, B: 40},   // two segments
+		{N: 512, P: 16, Mu: 5, Nu: 4, B: 32},  // many short segments
+		{N: 480, P: 4, Mu: 5, Nu: 4, B: 48},   // non-power-of-two N (M=120)
+		{N: 768, P: 8, Mu: 5, Nu: 4, B: 48},   // 3·2^8 per segment
+		{N: 256, P: 4, Mu: 3, Nu: 2, B: 40},   // β = 1/2
+		{N: 256, P: 4, Mu: 9, Nu: 8, B: 56},   // β = 1/8 (tight oversampling)
+		{N: 1024, P: 4, Mu: 2, Nu: 1, B: 40},  // β = 1 (generous)
+		{N: 2048, P: 32, Mu: 5, Nu: 4, B: 56}, // larger P
+	}
+	for _, p := range cases {
+		pl, err := NewPlan(p)
+		if err != nil {
+			t.Errorf("NewPlan(%+v): %v", p, err)
+			continue
+		}
+		e := soiVsDirect(t, p, int64(p.N+p.P))
+		// Tolerance from the plan's own error prediction, with headroom
+		// for the FFT and the looseness of the integral bounds.
+		tol := math.Max(pl.PredictedError()*100, 1e-11)
+		if e > tol {
+			t.Errorf("params %+v: relative error %.3e > tol %.3e (predicted %.3e)",
+				p, e, tol, pl.PredictedError())
+		}
+	}
+}
+
+func TestSOIDeterministicAndWorkerInvariant(t *testing.T) {
+	p := Params{N: 512, P: 8, Mu: 5, Nu: 4, B: 48}
+	src := signal.Random(p.N, 3)
+	var ref []complex128
+	for _, workers := range []int{1, 2, 3, 8} {
+		p.Workers = workers
+		pl, err := NewPlan(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := make([]complex128, p.N)
+		if err := pl.Transform(got, src); err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = append([]complex128(nil), got...)
+			continue
+		}
+		if e := signal.MaxAbsErr(got, ref); e != 0 {
+			t.Errorf("workers=%d: result differs from workers=1 by %.3e", workers, e)
+		}
+	}
+}
+
+func TestSOIStructuredInputs(t *testing.T) {
+	p := Params{N: 512, P: 8, Mu: 5, Nu: 4, B: 64}
+	pl, err := NewPlan(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := map[string][]complex128{
+		"impulse0":   signal.Impulse(p.N, 0),
+		"impulseMid": signal.Impulse(p.N, p.N/2),
+		"tone":       signal.Tones(p.N, []int{37}, []complex128{1}),
+		"toneHigh":   signal.Tones(p.N, []int{p.N - 3}, []complex128{2i}),
+		"chirp":      signal.Chirp(p.N, 0, float64(p.N)/2),
+		"constant":   signal.Tones(p.N, []int{0}, []complex128{1}),
+	}
+	for name, src := range inputs {
+		want := make([]complex128, p.N)
+		fft.Direct(want, src)
+		got := make([]complex128, p.N)
+		if err := pl.Transform(got, src); err != nil {
+			t.Fatal(err)
+		}
+		// Structured inputs have sparse spectra; use absolute error
+		// scaled by the spectrum's energy.
+		if e := signal.MaxAbsErr(got, want); e > 1e-10*float64(p.N) {
+			t.Errorf("%s: max abs error %.3e", name, e)
+		}
+	}
+}
+
+func TestSOISegmentBoundaries(t *testing.T) {
+	// Demodulation divides by the window edge values; verify the error is
+	// not concentrated catastrophically at segment boundaries.
+	p := Params{N: 1024, P: 8, Mu: 5, Nu: 4, B: 72}
+	pl, err := NewPlan(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := signal.Random(p.N, 9)
+	want := make([]complex128, p.N)
+	fft.Direct(want, src)
+	got := make([]complex128, p.N)
+	if err := pl.Transform(got, src); err != nil {
+		t.Fatal(err)
+	}
+	m := pl.M()
+	for s := 0; s < p.P; s++ {
+		edge := signal.MaxAbsErr(got[s*m:s*m+2], want[s*m:s*m+2])
+		last := signal.MaxAbsErr(got[(s+1)*m-2:(s+1)*m], want[(s+1)*m-2:(s+1)*m])
+		if edge > 1e-9 || last > 1e-9 {
+			t.Errorf("segment %d: boundary errors %.3e / %.3e", s, edge, last)
+		}
+	}
+}
+
+func TestGaussianWindowAccuracyCeiling(t *testing.T) {
+	// Paper Section 8: with a pure Gaussian window at β = 1/4, accuracy
+	// caps around 10 digits regardless of taps.
+	d := window.DesignGaussian(64, 0.25)
+	p := Params{N: 512, P: 8, Mu: 5, Nu: 4, B: 64, Win: d.Window}
+	e := soiVsDirect(t, p, 11)
+	if e > 1e-7 {
+		t.Errorf("gaussian window error %.3e, want usable (~1e-8..1e-10)", e)
+	}
+	if e < 1e-13 {
+		t.Errorf("gaussian window error %.3e suspiciously low; ceiling should bind", e)
+	}
+	// And the two-parameter window at identical B must be clearly better.
+	p.Win = nil
+	e2 := soiVsDirect(t, p, 11)
+	if e2 > e/10 {
+		t.Errorf("tau-sigma error %.3e not clearly better than gaussian %.3e", e2, e)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	bad := []struct {
+		p    Params
+		frag string
+	}{
+		{Params{N: 0, P: 1, Mu: 5, Nu: 4, B: 8}, "N must be positive"},
+		{Params{N: 64, P: 0, Mu: 5, Nu: 4, B: 8}, "P must be positive"},
+		{Params{N: 65, P: 4, Mu: 5, Nu: 4, B: 8}, "must divide N"},
+		{Params{N: 64, P: 4, Mu: 0, Nu: 4, B: 8}, "must be positive"},
+		{Params{N: 64, P: 4, Mu: 4, Nu: 5, B: 8}, "must exceed 1"},
+		{Params{N: 64, P: 4, Mu: 10, Nu: 8, B: 8}, "lowest terms"},
+		{Params{N: 64, P: 4, Mu: 5, Nu: 4, B: 1}, "too small"},
+		{Params{N: 60, P: 4, Mu: 5, Nu: 4, B: 8}, "must divide M"},
+		{Params{N: 64, P: 4, Mu: 5, Nu: 4, B: 32}, "exceeds M"},
+	}
+	for _, c := range bad {
+		err := c.p.Validate()
+		if err == nil {
+			t.Errorf("Validate(%+v): expected error containing %q", c.p, c.frag)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("Validate(%+v) = %q, want fragment %q", c.p, err, c.frag)
+		}
+	}
+}
+
+func TestTransformArgumentErrors(t *testing.T) {
+	p := Params{N: 256, P: 4, Mu: 5, Nu: 4, B: 32}
+	pl, err := NewPlan(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]complex128, p.N)
+	if err := pl.Transform(buf[:100], buf); err == nil {
+		t.Error("expected length error")
+	}
+	if err := pl.Transform(buf, buf); err == nil {
+		t.Error("expected aliasing error")
+	}
+}
+
+func TestPlanAccessors(t *testing.T) {
+	p := Params{N: 1024, P: 8, Mu: 5, Nu: 4, B: 72}
+	pl, err := NewPlan(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.M() != 128 || pl.MPrime() != 160 || pl.NPrime() != 1280 {
+		t.Errorf("M=%d M'=%d N'=%d", pl.M(), pl.MPrime(), pl.NPrime())
+	}
+	if pl.HaloLen() != 71*8 {
+		t.Errorf("HaloLen = %d", pl.HaloLen())
+	}
+	if pl.ConvFlops() <= 0 || pl.FFTFlops() <= 0 {
+		t.Error("flop counters must be positive")
+	}
+	if pl.Params().B != 72 {
+		t.Errorf("Params not preserved: %+v", pl.Params())
+	}
+	// Paper Section 7.4: at B=72, convolution arithmetic is around 4× the
+	// FFT arithmetic for large M. Allow a broad band at this small size.
+	ratio := float64(pl.ConvFlops()) / float64(pl.FFTFlops())
+	if ratio < 1 || ratio > 12 {
+		t.Errorf("conv/fft flop ratio %.2f outside sanity band", ratio)
+	}
+	if pl.Metrics().Kappa < 1 {
+		t.Errorf("kappa %.3g < 1", pl.Metrics().Kappa)
+	}
+}
+
+func TestDefaultParams(t *testing.T) {
+	p := DefaultParams(1<<20, 16)
+	if err := p.Validate(); err != nil {
+		t.Fatalf("DefaultParams invalid: %v", err)
+	}
+	if p.Beta() != 0.25 {
+		t.Errorf("Beta = %g", p.Beta())
+	}
+}
+
+func TestCompactSupportWindowEndToEnd(t *testing.T) {
+	// Paper Section 8: compactly supported windows eliminate aliasing
+	// entirely; accuracy is then set by truncation alone, which decays
+	// sub-exponentially — usable, but needing more taps than tau-sigma.
+	w, err := window.NewCompactBump(0.25, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Params{N: 1024, P: 8, Mu: 5, Nu: 4, B: 96, Win: w}
+	e := soiVsDirect(t, p, 17)
+	if e > 1e-6 {
+		t.Errorf("compact window error %.3e too large to be useful", e)
+	}
+	pl, err := NewPlan(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Metrics().EpsAlias != 0 {
+		t.Errorf("aliasing should be exactly zero, got %.3g", pl.Metrics().EpsAlias)
+	}
+}
+
+func TestTransformSegmentMatchesFull(t *testing.T) {
+	p := Params{N: 1024, P: 8, Mu: 5, Nu: 4, B: 48}
+	pl, err := NewPlan(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := signal.Random(p.N, 23)
+	full := make([]complex128, p.N)
+	if err := pl.Transform(full, src); err != nil {
+		t.Fatal(err)
+	}
+	m := pl.M()
+	for s := 0; s < p.P; s++ {
+		seg := make([]complex128, m)
+		if err := pl.TransformSegment(seg, src, s); err != nil {
+			t.Fatalf("segment %d: %v", s, err)
+		}
+		// The segment path computes the P-point DFT row as a direct dot
+		// product, so it differs from the full transform only by
+		// floating-point reordering (relative ~1e-13 here).
+		if e := signal.MaxAbsErr(seg, full[s*m:(s+1)*m]); e > 1e-10 {
+			t.Errorf("segment %d differs from full transform by %.3e", s, e)
+		}
+	}
+}
+
+func TestTransformSegmentErrors(t *testing.T) {
+	p := Params{N: 256, P: 4, Mu: 5, Nu: 4, B: 16}
+	pl, err := NewPlan(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]complex128, 256)
+	seg := make([]complex128, 64)
+	if err := pl.TransformSegment(seg, buf, -1); err == nil {
+		t.Error("expected range error for s=-1")
+	}
+	if err := pl.TransformSegment(seg, buf, 4); err == nil {
+		t.Error("expected range error for s=P")
+	}
+	if err := pl.TransformSegment(seg[:10], buf, 0); err == nil {
+		t.Error("expected length error")
+	}
+}
+
+func TestKaiserWindowEndToEnd(t *testing.T) {
+	// Kaiser-Bessel with T=B/2: exactly zero truncation error; accuracy
+	// capped near 5 digits at beta=1/4 by the kappa-alias tension.
+	d := window.DesignKaiser(48, 0.25, 1e3)
+	p := Params{N: 512, P: 8, Mu: 5, Nu: 4, B: 48, Win: d.Window}
+	e := soiVsDirect(t, p, 19)
+	if e > 1e-3 {
+		t.Errorf("kaiser window error %.3e unusably large", e)
+	}
+	pl, err := NewPlan(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Metrics().EpsTrunc != 0 {
+		t.Errorf("truncation should be exactly zero, got %.3g", pl.Metrics().EpsTrunc)
+	}
+}
+
+func TestTransformSteadyStateAllocs(t *testing.T) {
+	// With one worker (no goroutine spawning), the pooled workspaces make
+	// repeated transforms essentially allocation-free.
+	p := Params{N: 4096, P: 8, Mu: 5, Nu: 4, B: 48, Workers: 1}
+	pl, err := NewPlan(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := signal.Random(p.N, 41)
+	dst := make([]complex128, p.N)
+	// Warm the pools.
+	if err := pl.Transform(dst, src); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if err := pl.Transform(dst, src); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 16 {
+		t.Errorf("steady-state Transform allocates %.0f objects per run; want ≤ 16", allocs)
+	}
+}
+
+func TestConvolveRangeJammedBitIdentical(t *testing.T) {
+	p := Params{N: 2048, P: 8, Mu: 5, Nu: 4, B: 40}
+	pl, err := NewPlan(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := signal.Random(p.N, 51)
+	ext := make([]complex128, p.N+pl.HaloLen())
+	copy(ext, src)
+	copy(ext[p.N:], src[:pl.HaloLen()])
+	a := make([]complex128, pl.MPrime()*p.P)
+	b := make([]complex128, pl.MPrime()*p.P)
+	pl.ConvolveRange(a, ext, 0, pl.MPrime(), 0)
+	pl.ConvolveRangeJammed(b, ext, 0, pl.MPrime(), 0)
+	if e := signal.MaxAbsErr(a, b); e != 0 {
+		t.Errorf("jammed kernel differs by %.3e", e)
+	}
+	// Aligned sub-range.
+	sub := make([]complex128, 10*p.Mu*p.P)
+	pl.ConvolveRangeJammed(sub, ext, 5*p.Mu, 15*p.Mu, 0)
+	if e := signal.MaxAbsErr(sub, a[5*p.Mu*p.P:15*p.Mu*p.P]); e != 0 {
+		t.Errorf("jammed sub-range differs by %.3e", e)
+	}
+	// Unaligned ranges fall back and still agree.
+	sub2 := make([]complex128, 7*p.P)
+	pl.ConvolveRangeJammed(sub2, ext, 3, 10, 0)
+	if e := signal.MaxAbsErr(sub2, a[3*p.P:10*p.P]); e != 0 {
+		t.Errorf("jammed fallback differs by %.3e", e)
+	}
+}

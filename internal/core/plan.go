@@ -1,0 +1,182 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"sync"
+
+	"soifft/internal/fft"
+	"soifft/internal/window"
+)
+
+// Plan holds the precomputed tables of one SOI factorization: the weight
+// tensor of the convolution operator W (μ·B·P distinct complex numbers,
+// paper Fig 4), the inverse demodulation samples 1/ŵ(k), and the two FFT
+// sub-plans F_P and F_M'. Plans are immutable and safe for concurrent use.
+type Plan struct {
+	prm    Params
+	m      int // segment length M = N/P
+	mp     int // oversampled segment length M' = M·μ/ν
+	np     int // oversampled total N' = M'·P
+	groups int // M'/μ row groups in the convolution
+
+	// wt is the weight tensor, indexed wt[(r*B+b)*P+i] for row phase
+	// r ∈ [0,μ), tap b ∈ [0,B), lane i ∈ [0,P).
+	wt []complex128
+	// dstart[r] = ⌊r·ν/μ⌋, the extra start-block offset of row phase r.
+	dstart []int
+	// invW[k] = 1/ŵ(k) for k ∈ [0,M): the demodulation diagonal.
+	invW []complex128
+
+	fftP  *fft.Plan
+	fftMP *fft.Plan
+
+	win     window.Window
+	metrics window.Metrics
+
+	ws sync.Pool // *workspace, reused across Transform calls
+}
+
+// workspace holds the per-transform scratch buffers so steady-state
+// Transform calls allocate nothing beyond goroutine bookkeeping.
+type workspace struct {
+	ext  []complex128 // input + halo, N + (B−1)P
+	conv []complex128 // convolution output, N'
+	v    []complex128 // after I⊗F_P, N'
+	seg  []complex128 // segment-major permutation, N'
+	yb   []complex128 // segment spectra, N'
+}
+
+// NewPlan validates p, designs a window if none is given, and precomputes
+// all tables.
+func NewPlan(p Params) (*Plan, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if p.Win == nil {
+		p.Win = window.Design(p.B, p.Beta(), 1e3).Window
+	}
+	m := p.N / p.P
+	mp := m / p.Nu * p.Mu
+	pl := &Plan{
+		prm:    p,
+		m:      m,
+		mp:     mp,
+		np:     mp * p.P,
+		groups: mp / p.Mu,
+		win:    p.Win,
+	}
+	var err error
+	if pl.fftP, err = fft.CachedPlan(p.P); err != nil {
+		return nil, fmt.Errorf("core: F_P plan: %w", err)
+	}
+	if pl.fftMP, err = fft.CachedPlan(mp); err != nil {
+		return nil, fmt.Errorf("core: F_M' plan: %w", err)
+	}
+	pl.buildWeights()
+	pl.buildDemodulation()
+	pl.metrics = window.Analyze(p.Win, p.Beta(), p.B)
+	pl.ws.New = func() any {
+		return &workspace{
+			ext:  make([]complex128, pl.prm.N+pl.HaloLen()),
+			conv: make([]complex128, pl.np),
+			v:    make([]complex128, pl.np),
+			seg:  make([]complex128, pl.np),
+			yb:   make([]complex128, pl.np),
+		}
+	}
+	return pl, nil
+}
+
+// buildWeights fills the μ·B·P weight tensor. For output row j = g·μ + r
+// and tap block b, lane i, the convolution weight is
+//
+//	(1/M')·w(j/M' − (s_j+b)/M − i/N),  s_j = g·ν + dstart[r],
+//
+// where w(t) = M·exp(iπM(t+t₀))·H(M(t+t₀)), t₀ = B/(2M), is the
+// time-domain window of ŵ(u) = exp(iπBPu/N)·Ĥ((u−M/2)/M). In the scaled
+// variable α = M·(t+t₀) the dependence on g cancels:
+//
+//	α = r·ν/μ − (dstart[r]+b) − i/P + B/2
+//	weight = (ν/μ)·exp(iπα)·H(α)
+func (pl *Plan) buildWeights() {
+	p := pl.prm
+	pl.dstart = make([]int, p.Mu)
+	for r := 0; r < p.Mu; r++ {
+		pl.dstart[r] = r * p.Nu / p.Mu
+	}
+	pl.wt = make([]complex128, p.Mu*p.B*p.P)
+	scale := float64(p.Nu) / float64(p.Mu)
+	for r := 0; r < p.Mu; r++ {
+		rOff := float64(r)*scale + float64(p.B)/2 - float64(pl.dstart[r])
+		for b := 0; b < p.B; b++ {
+			for i := 0; i < p.P; i++ {
+				alpha := rOff - float64(b) - float64(i)/float64(p.P)
+				h := pl.win.HTime(alpha)
+				phase := cmplx.Exp(complex(0, math.Pi*alpha))
+				pl.wt[(r*p.B+b)*p.P+i] = complex(scale*h, 0) * phase
+			}
+		}
+	}
+}
+
+// buildDemodulation fills invW[k] = 1/ŵ(k) = exp(−iπBk/M)/Ĥ((k−M/2)/M).
+func (pl *Plan) buildDemodulation() {
+	p := pl.prm
+	pl.invW = make([]complex128, pl.m)
+	for k := 0; k < pl.m; k++ {
+		u := (float64(k) - float64(pl.m)/2) / float64(pl.m)
+		hh := pl.win.HHat(u)
+		phase := cmplx.Exp(complex(0, -math.Pi*float64(p.B)*float64(k)/float64(pl.m)))
+		pl.invW[k] = phase * complex(1/hh, 0)
+	}
+}
+
+// Params returns the parameters the plan was built with (window resolved).
+func (pl *Plan) Params() Params { return pl.prm }
+
+// M returns the segment length N/P.
+func (pl *Plan) M() int { return pl.m }
+
+// MPrime returns the oversampled segment length M' = (1+β)M.
+func (pl *Plan) MPrime() int { return pl.mp }
+
+// NPrime returns the oversampled total length N' = (1+β)N; this is the
+// volume of the single all-to-all.
+func (pl *Plan) NPrime() int { return pl.np }
+
+// rowEndCol returns the exclusive upper global column index read by
+// convolution row j: (s_j + B)·P with s_j the row's start block.
+func (pl *Plan) rowEndCol(j int) int {
+	p := pl.prm
+	sj := (j/p.Mu)*p.Nu + pl.dstart[j%p.Mu]
+	return (sj + p.B) * p.P
+}
+
+// HaloLen returns how many elements beyond an input range the convolution
+// reads: the taps of the last local output row extend (B−1)·P elements
+// past the owned block (paper Fig 4's "(B−ν)P from its adjacent node",
+// counted conservatively).
+func (pl *Plan) HaloLen() int { return (pl.prm.B - 1) * pl.prm.P }
+
+// Metrics reports the window accuracy metrics (κ, ε_alias, ε_trunc) of
+// the plan's window at its (B, β).
+func (pl *Plan) Metrics() window.Metrics { return pl.metrics }
+
+// PredictedError is the paper's error-scale estimate κ(ε_fft+ε_alias+ε_trunc).
+func (pl *Plan) PredictedError() float64 { return pl.metrics.TotalError() }
+
+// ConvFlops counts the real floating-point operations of the convolution
+// W·x (8 per complex multiply-add), the "extra" arithmetic SOI pays.
+func (pl *Plan) ConvFlops() int64 {
+	return int64(pl.np) * int64(pl.prm.B) * 8
+}
+
+// FFTFlops estimates the arithmetic of the FFT stages by the usual
+// 5·n·log2(n) convention, over all P-point and M'-point sub-transforms.
+func (pl *Plan) FFTFlops() int64 {
+	lgP := math.Log2(float64(pl.prm.P))
+	lgMP := math.Log2(float64(pl.mp))
+	return int64(5*float64(pl.np)*lgP) + int64(5*float64(pl.np)*lgMP)
+}

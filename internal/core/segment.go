@@ -1,0 +1,138 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"runtime"
+)
+
+// TransformSegment computes a single frequency segment
+// y[s·M : (s+1)·M] from the full input — the direct "pursuit of a
+// segment of interest" of paper Fig 1. Instead of the I⊗F_P batch it
+// evaluates only lane s of each block's P-point DFT (a dot product with
+// the s-th DFT row), so the cost is the shared convolution plus one
+// M'-point FFT: far cheaper than a full transform when only part of the
+// spectrum is wanted.
+func (pl *Plan) TransformSegment(dst, src []complex128, s int) error {
+	p := pl.prm
+	if s < 0 || s >= p.P {
+		return fmt.Errorf("core: segment %d out of range [0, %d)", s, p.P)
+	}
+	if len(src) != p.N || len(dst) != pl.m {
+		return fmt.Errorf("core: need src %d dst %d, got %d/%d", p.N, pl.m, len(src), len(dst))
+	}
+	workers := p.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	ext := make([]complex128, p.N+pl.HaloLen())
+	copy(ext, src)
+	copy(ext[p.N:], src[:pl.HaloLen()])
+
+	// s-th row of F_P: ω^{s·i}, ω = e^{-i2π/P}.
+	row := make([]complex128, p.P)
+	for i := 0; i < p.P; i++ {
+		ang := -2 * math.Pi * float64((s*i)%p.P) / float64(p.P)
+		row[i] = cmplx.Exp(complex(0, ang))
+	}
+
+	// x̃^(s)[j] = Σ_i ω^{si} · (W_j x)[i], fused with the convolution.
+	xt := make([]complex128, pl.mp)
+	parfor(workers, pl.mp, func(jLo, jHi int) {
+		block := make([]complex128, (jHi-jLo)*p.P)
+		pl.ConvolveRange(block, ext, jLo, jHi, 0)
+		for j := jLo; j < jHi; j++ {
+			b := block[(j-jLo)*p.P : (j-jLo+1)*p.P]
+			var acc complex128
+			for i, w := range row {
+				acc += w * b[i]
+			}
+			xt[j] = acc
+		}
+	})
+
+	yt := make([]complex128, pl.mp)
+	pl.fftMP.Forward(yt, xt)
+	pl.Demodulate(dst, yt)
+	return nil
+}
+
+// RunDistributedSegment computes one frequency segment over the
+// communicator: every rank contributes its local convolution blocks'
+// lane-s dot products, and rank `root` gathers the M' values, runs the
+// segment FFT and demodulates. Communication is a single gather of M'/R
+// points per rank plus the usual halo — far below even the SOI
+// transform's all-to-all. Returns the segment (length M) on root, nil on
+// other ranks.
+func (pl *Plan) RunDistributedSegment(c Comm, localIn []complex128, s, root int) ([]complex128, error) {
+	p := pl.prm
+	r := c.Size()
+	if err := pl.ValidateDistributed(r); err != nil {
+		return nil, err
+	}
+	if s < 0 || s >= p.P {
+		return nil, fmt.Errorf("core: segment %d out of range [0, %d)", s, p.P)
+	}
+	if root < 0 || root >= r {
+		return nil, fmt.Errorf("core: root %d out of range [0, %d)", root, r)
+	}
+	nLocal := p.N / r
+	if len(localIn) != nLocal {
+		return nil, fmt.Errorf("core: rank %d: need local length %d, got %d", c.Rank(), nLocal, len(localIn))
+	}
+	rank := c.Rank()
+	halo := pl.HaloLen()
+	bpr := pl.mp / r
+
+	// Halo exchange (same pattern as RunDistributed).
+	ext := make([]complex128, nLocal+halo)
+	copy(ext, localIn)
+	if r == 1 {
+		copy(ext[nLocal:], localIn[:halo])
+	} else {
+		depth := 0
+		for d := 1; (d-1)*nLocal < halo; d++ {
+			need := halo - (d-1)*nLocal
+			if need > nLocal {
+				need = nLocal
+			}
+			c.Send((rank-d+r*d)%r, tagHalo+d, localIn[:need])
+			depth = d
+		}
+		for d := 1; d <= depth; d++ {
+			data := c.RecvC((rank+d)%r, tagHalo+d)
+			copy(ext[nLocal+(d-1)*nLocal:], data)
+		}
+	}
+
+	// Local blocks' lane-s values: one convolution pass and a dot product
+	// with the s-th DFT row per block.
+	row := make([]complex128, p.P)
+	for i := 0; i < p.P; i++ {
+		ang := -2 * math.Pi * float64((s*i)%p.P) / float64(p.P)
+		row[i] = cmplx.Exp(complex(0, ang))
+	}
+	jLo := rank * bpr
+	block := make([]complex128, bpr*p.P)
+	pl.ConvolveRange(block, ext, jLo, jLo+bpr, rank*nLocal)
+	part := make([]complex128, bpr)
+	for j := 0; j < bpr; j++ {
+		var acc complex128
+		for i, w := range row {
+			acc += w * block[j*p.P+i]
+		}
+		part[j] = acc
+	}
+
+	xt := c.Gather(root, part)
+	if rank != root {
+		return nil, nil
+	}
+	yt := make([]complex128, pl.mp)
+	pl.SegmentFFT(yt, xt)
+	out := make([]complex128, pl.m)
+	pl.Demodulate(out, yt)
+	return out, nil
+}

@@ -1,0 +1,170 @@
+package core
+
+// Numerical validation of the paper's mathematical foundations, directly
+// from the definitions (no shared code with the fast path):
+//
+//   - Theorem 1 (hybrid convolution): F_M (1/M)·Samp(x*w; 1/M) equals
+//     Peri(y·ŵ; M) for a smooth window pair.
+//   - Section 8's exact factorization: with the rectangular window
+//     (ŵ = 1 on [0, M−1], 0 outside (−1, M)), no oversampling and no
+//     truncation, the factorization reproduces the DFT exactly — this is
+//     how the framework subsumes Edelman et al.'s FFFT.
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"soifft/internal/fft"
+	"soifft/internal/signal"
+	"soifft/internal/window"
+)
+
+// TestHybridConvolutionTheorem checks Theorem 1 by brute force.
+func TestHybridConvolutionTheorem(t *testing.T) {
+	const (
+		n = 48
+		m = 12
+	)
+	w := window.TauSigma{Tau: 0.8, Sigma: 30}
+	x := signal.Random(n, 5)
+	y := make([]complex128, n)
+	fft.Direct(y, x)
+
+	// Left side: x̃_j = (1/M) Σ_ℓ w(j/M − ℓ/N) x_{ℓ mod N}, then F_M x̃.
+	// H decays below 1e-16 for |t| > ~10 at σ=30, so ±12N covers the sum.
+	xt := make([]complex128, m)
+	for j := 0; j < m; j++ {
+		var acc complex128
+		for l := -12 * n; l <= 12*n; l++ {
+			tArg := float64(j)/float64(m) - float64(l)/float64(n)
+			h := w.HTime(tArg)
+			if h == 0 {
+				continue
+			}
+			acc += complex(h, 0) * x[((l%n)+n)%n]
+		}
+		xt[j] = acc / complex(float64(m), 0)
+	}
+	lhs := make([]complex128, m)
+	fft.Direct(lhs, xt)
+
+	// Right side: Peri(y·ŵ; M)_k = Σ_p y_{(k+pM) mod N} ŵ(k+pM).
+	rhs := make([]complex128, m)
+	for k := 0; k < m; k++ {
+		var acc complex128
+		for p := -40 * n / m; p <= 40*n/m; p++ {
+			u := k + p*m
+			hh := w.HHat(float64(u))
+			if hh == 0 {
+				continue
+			}
+			acc += y[((u%n)+n)%n] * complex(hh, 0)
+		}
+		rhs[k] = acc
+	}
+
+	for k := 0; k < m; k++ {
+		if d := cmplx.Abs(lhs[k] - rhs[k]); d > 1e-9 {
+			t.Errorf("Theorem 1 violated at k=%d: lhs %v rhs %v (|Δ|=%.3e)", k, lhs[k], rhs[k], d)
+		}
+	}
+}
+
+// TestExactRectangularFactorization builds the Section 8 exact
+// factorization densely and checks it reproduces F_N x to rounding.
+func TestExactRectangularFactorization(t *testing.T) {
+	const (
+		n = 48
+		p = 4
+		m = n / p
+	)
+	x := signal.Random(n, 6)
+	want := make([]complex128, n)
+	fft.Direct(want, x)
+
+	// Dense convolution matrix: c_{jk} = (1/M) Σ_{ℓ=0}^{M−1} ω^ℓ with
+	// ω = exp(i2π(j/M − k/N)) (paper's closed form for the rectangular
+	// window; a permuted form of the FFFT's matrix M).
+	c := make([][]complex128, m)
+	for j := 0; j < m; j++ {
+		c[j] = make([]complex128, n)
+		for k := 0; k < n; k++ {
+			omega := cmplx.Exp(complex(0, 2*math.Pi*(float64(j)/float64(m)-float64(k)/float64(n))))
+			var sum complex128
+			pw := complex(1, 0)
+			for l := 0; l < m; l++ {
+				sum += pw
+				pw *= omega
+			}
+			c[j][k] = sum / complex(float64(m), 0)
+		}
+	}
+
+	got := make([]complex128, n)
+	for s := 0; s < p; s++ {
+		// Phase-shift the input: Φ_s = diag(ω_P^{j·s}), ω_P = e^{-i2π/P}.
+		xs := make([]complex128, n)
+		for j := 0; j < n; j++ {
+			ang := -2 * math.Pi * float64((j*s)%p) / float64(p)
+			xs[j] = x[j] * cmplx.Exp(complex(0, ang))
+		}
+		// x̃ = C·Φ_s·x, then ỹ = F_M x̃; ŵ ≡ 1 on the segment, so no
+		// demodulation is needed.
+		xt := make([]complex128, m)
+		for j := 0; j < m; j++ {
+			var acc complex128
+			for k := 0; k < n; k++ {
+				acc += c[j][k] * xs[k]
+			}
+			xt[j] = acc
+		}
+		yt := make([]complex128, m)
+		fft.Direct(yt, xt)
+		copy(got[s*m:(s+1)*m], yt)
+	}
+
+	if e := signal.RelErrL2(got, want); e > 1e-10 {
+		t.Errorf("exact factorization relative error %.3e; should be rounding-level", e)
+	}
+}
+
+// TestInverseRoundTrip checks the SOI inverse path.
+func TestInverseRoundTrip(t *testing.T) {
+	p := Params{N: 1024, P: 8, Mu: 5, Nu: 4, B: 64}
+	pl, err := NewPlan(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := signal.Random(p.N, 7)
+	freq := make([]complex128, p.N)
+	back := make([]complex128, p.N)
+	if err := pl.Transform(freq, src); err != nil {
+		t.Fatal(err)
+	}
+	if err := pl.InverseTransform(back, freq); err != nil {
+		t.Fatal(err)
+	}
+	if e := signal.RelErrL2(back, src); e > 1e-11 {
+		t.Errorf("round trip error %.3e", e)
+	}
+}
+
+// TestInverseMatchesDirect checks the inverse against the definition.
+func TestInverseMatchesDirect(t *testing.T) {
+	p := Params{N: 512, P: 8, Mu: 5, Nu: 4, B: 56}
+	pl, err := NewPlan(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := signal.Random(p.N, 8)
+	want := make([]complex128, p.N)
+	fft.DirectInverse(want, src)
+	got := make([]complex128, p.N)
+	if err := pl.InverseTransform(got, src); err != nil {
+		t.Fatal(err)
+	}
+	if e := signal.RelErrL2(got, want); e > 1e-11 {
+		t.Errorf("inverse vs direct error %.3e", e)
+	}
+}

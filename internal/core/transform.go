@@ -1,0 +1,192 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// PhaseTimes records wall time per pipeline stage of one transform; it
+// feeds the performance-model calibration and the op-count ablation
+// (paper Section 7.4 measures convolution time ≈ FFT time within SOI).
+type PhaseTimes struct {
+	Convolve  time.Duration // W·x plus the fused I_M'⊗F_P stage
+	Transpose time.Duration // the stride-P permutation (shared-memory form)
+	SegmentFT time.Duration // per-segment F_M'
+	Demod     time.Duration // projection + Ŵ⁻¹ scaling
+}
+
+// Total returns the sum over phases.
+func (t PhaseTimes) Total() time.Duration {
+	return t.Convolve + t.Transpose + t.SegmentFT + t.Demod
+}
+
+// Transform computes dst = DFT(src) through the SOI factorization using
+// shared-memory parallelism. dst and src must have length N and must not
+// alias.
+func (pl *Plan) Transform(dst, src []complex128) error {
+	_, err := pl.TransformTimed(dst, src)
+	return err
+}
+
+// TransformTimed is Transform with per-phase wall-time reporting.
+func (pl *Plan) TransformTimed(dst, src []complex128) (PhaseTimes, error) {
+	var pt PhaseTimes
+	p := pl.prm
+	if len(src) != p.N || len(dst) != p.N {
+		return pt, fmt.Errorf("core: need len %d, got dst %d src %d", p.N, len(dst), len(src))
+	}
+	if len(src) > 0 && len(dst) > 0 && &dst[0] == &src[0] {
+		return pt, fmt.Errorf("core: dst must not alias src")
+	}
+	workers := p.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	// Extend the input with its own head so tap windows never wrap: this
+	// is the shared-memory stand-in for the neighbour halo exchange.
+	t0 := time.Now()
+	ws := pl.ws.Get().(*workspace)
+	defer pl.ws.Put(ws)
+	xext := ws.ext
+	copy(xext, src)
+	copy(xext[p.N:], src[:pl.HaloLen()])
+
+	// Stage 1+2 fused: convolution blocks and their P-point FFTs.
+	v := ws.v
+	parfor(workers, pl.mp, func(jLo, jHi int) {
+		tmp := ws.conv[jLo*p.P : jHi*p.P]
+		pl.ConvolveRange(tmp, xext, jLo, jHi, 0)
+		pl.fftP.Batch(v[jLo*p.P:jHi*p.P], tmp, jHi-jLo)
+	})
+	pt.Convolve = time.Since(t0)
+
+	// Stage 3: stride-P permutation, gathering each segment contiguously.
+	t0 = time.Now()
+	seg := ws.seg
+	transpose(seg, v, pl.mp, p.P, workers)
+	pt.Transpose = time.Since(t0)
+
+	// Stage 4: per-segment M'-point FFTs.
+	t0 = time.Now()
+	ybuf := ws.yb
+	parfor(workers, p.P, func(sLo, sHi int) {
+		for s := sLo; s < sHi; s++ {
+			pl.fftMP.Forward(ybuf[s*pl.mp:(s+1)*pl.mp], seg[s*pl.mp:(s+1)*pl.mp])
+		}
+	})
+	pt.SegmentFT = time.Since(t0)
+
+	// Stage 5: project to the top M entries of each segment, demodulate.
+	t0 = time.Now()
+	parfor(workers, p.P, func(sLo, sHi int) {
+		for s := sLo; s < sHi; s++ {
+			pl.Demodulate(dst[s*pl.m:(s+1)*pl.m], ybuf[s*pl.mp:(s+1)*pl.mp])
+		}
+	})
+	pt.Demod = time.Since(t0)
+	return pt, nil
+}
+
+// ConvolveRange computes output blocks j ∈ [jLo, jHi) of the convolution
+// W·x into dst (block-major: dst[(j−jLo)*P + i]). src is a contiguous
+// window of the input starting at global column colOff; it must cover
+// every tap of the requested rows, i.e. global columns
+// [s_jLo·P, (s_{jHi−1}+B)·P). The caller supplies halo data past its own
+// range; ConvolveRange never wraps indices.
+//
+// Each output element is a length-B stride-P inner product with one of μ
+// weight rows (paper Section 6, loops a–d).
+func (pl *Plan) ConvolveRange(dst, src []complex128, jLo, jHi, colOff int) {
+	p := pl.prm
+	for j := jLo; j < jHi; j++ {
+		g, r := j/p.Mu, j%p.Mu
+		start := (g*p.Nu+pl.dstart[r])*p.P - colOff
+		w := pl.wt[r*p.B*p.P : (r*p.B+p.B)*p.P]
+		out := dst[(j-jLo)*p.P : (j-jLo+1)*p.P]
+		for i := range out {
+			out[i] = 0
+		}
+		for b := 0; b < p.B; b++ {
+			xb := src[start+b*p.P : start+(b+1)*p.P]
+			wb := w[b*p.P : (b+1)*p.P]
+			for i, xv := range xb {
+				out[i] += wb[i] * xv
+			}
+		}
+	}
+}
+
+// Demodulate converts one segment's oversampled spectrum ytilde (length
+// M') into final DFT values: dst[k] = ytilde[k]/ŵ(k) for k ∈ [0, M).
+func (pl *Plan) Demodulate(dst, ytilde []complex128) {
+	for k := 0; k < pl.m; k++ {
+		dst[k] = ytilde[k] * pl.invW[k]
+	}
+}
+
+// SegmentFFT runs the per-segment F_M' transform (exposed for the
+// distributed driver).
+func (pl *Plan) SegmentFFT(dst, src []complex128) { pl.fftMP.Forward(dst, src) }
+
+// BlockFFTBatch applies F_P to count contiguous P-blocks (exposed for
+// the distributed driver).
+func (pl *Plan) BlockFFTBatch(dst, src []complex128, count int) {
+	pl.fftP.Batch(dst, src, count)
+}
+
+// transpose writes dst[s*rows + j] = src[j*cols + s] for an rows×cols
+// src, using simple cache blocking and row-band parallelism.
+func transpose(dst, src []complex128, rows, cols, workers int) {
+	const blk = 64
+	parfor(workers, rows, func(lo, hi int) {
+		for jb := lo; jb < hi; jb += blk {
+			jEnd := min(jb+blk, hi)
+			for sb := 0; sb < cols; sb += blk {
+				sEnd := min(sb+blk, cols)
+				for j := jb; j < jEnd; j++ {
+					row := src[j*cols:]
+					for s := sb; s < sEnd; s++ {
+						dst[s*rows+j] = row[s]
+					}
+				}
+			}
+		}
+	})
+}
+
+// parfor splits [0, n) into one contiguous span per worker.
+func parfor(workers, n int, fn func(lo, hi int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		if n > 0 {
+			fn(0, n)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * n / workers
+		hi := (w + 1) * n / workers
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,106 @@
+package fft
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Batch applies the plan's forward transform to count contiguous vectors:
+// transform i reads src[i*n:(i+1)*n] and writes dst[i*n:(i+1)*n].
+func (p *Plan) Batch(dst, src []complex128, count int) {
+	p.checkBatch(dst, src, count)
+	n := p.n
+	for i := 0; i < count; i++ {
+		p.Forward(dst[i*n:(i+1)*n], src[i*n:(i+1)*n])
+	}
+}
+
+// InverseBatch is Batch for the inverse transform.
+func (p *Plan) InverseBatch(dst, src []complex128, count int) {
+	p.checkBatch(dst, src, count)
+	n := p.n
+	for i := 0; i < count; i++ {
+		p.Inverse(dst[i*n:(i+1)*n], src[i*n:(i+1)*n])
+	}
+}
+
+// ParallelBatch is Batch with the transforms spread over workers
+// goroutines (GOMAXPROCS when workers <= 0). It models the intra-node
+// OpenMP threading of the paper's implementation.
+func (p *Plan) ParallelBatch(dst, src []complex128, count, workers int) {
+	p.checkBatch(dst, src, count)
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > count {
+		workers = count
+	}
+	if workers <= 1 {
+		p.Batch(dst, src, count)
+		return
+	}
+	n := p.n
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * count / workers
+		hi := (w + 1) * count / workers
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				p.Forward(dst[i*n:(i+1)*n], src[i*n:(i+1)*n])
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+func (p *Plan) checkBatch(dst, src []complex128, count int) {
+	if count < 0 {
+		panic(fmt.Sprintf("fft: negative batch count %d", count))
+	}
+	if len(dst) < count*p.n || len(src) < count*p.n {
+		panic(fmt.Sprintf("fft: batch of %d x %d needs %d elements, got dst %d src %d",
+			count, p.n, count*p.n, len(dst), len(src)))
+	}
+}
+
+var planCache sync.Map // int -> *Plan
+
+// CachedPlan returns a shared plan for length n, creating it on first use.
+// Plans are immutable after construction, so sharing is safe.
+func CachedPlan(n int) (*Plan, error) {
+	if v, ok := planCache.Load(n); ok {
+		return v.(*Plan), nil
+	}
+	p, err := NewPlan(n)
+	if err != nil {
+		return nil, err
+	}
+	actual, _ := planCache.LoadOrStore(n, p)
+	return actual.(*Plan), nil
+}
+
+// Forward is a convenience wrapper that transforms x into a fresh slice
+// using the shared plan cache.
+func Forward(x []complex128) ([]complex128, error) {
+	p, err := CachedPlan(len(x))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]complex128, len(x))
+	p.Forward(out, x)
+	return out, nil
+}
+
+// Inverse is the convenience inverse-transform counterpart of Forward.
+func Inverse(x []complex128) ([]complex128, error) {
+	p, err := CachedPlan(len(x))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]complex128, len(x))
+	p.Inverse(out, x)
+	return out, nil
+}

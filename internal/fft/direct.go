@@ -1,0 +1,57 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+)
+
+// Direct computes the forward DFT by the O(n^2) definition. It is the
+// reference oracle for tests and for very small transforms; it must stay
+// independent of the fast path.
+func Direct(dst, src []complex128) {
+	n := len(src)
+	if len(dst) != n {
+		panic("fft: Direct length mismatch")
+	}
+	out := dst
+	if n > 0 && sameSlice(dst, src) {
+		out = make([]complex128, n)
+	}
+	for k := 0; k < n; k++ {
+		var acc complex128
+		for j := 0; j < n; j++ {
+			// Reduce j*k mod n before forming the angle to avoid the
+			// catastrophic cancellation of huge arguments.
+			ang := -2 * math.Pi * float64((j*k)%n) / float64(n)
+			acc += src[j] * cmplx.Exp(complex(0, ang))
+		}
+		out[k] = acc
+	}
+	if &out[0] != &dst[0] {
+		copy(dst, out)
+	}
+}
+
+// DirectInverse computes the inverse DFT (scaled by 1/n) by definition.
+func DirectInverse(dst, src []complex128) {
+	n := len(src)
+	if len(dst) != n {
+		panic("fft: DirectInverse length mismatch")
+	}
+	out := dst
+	if n > 0 && sameSlice(dst, src) {
+		out = make([]complex128, n)
+	}
+	inv := 1 / float64(n)
+	for k := 0; k < n; k++ {
+		var acc complex128
+		for j := 0; j < n; j++ {
+			ang := 2 * math.Pi * float64((j*k)%n) / float64(n)
+			acc += src[j] * cmplx.Exp(complex(0, ang))
+		}
+		out[k] = acc * complex(inv, 0)
+	}
+	if &out[0] != &dst[0] {
+		copy(dst, out)
+	}
+}

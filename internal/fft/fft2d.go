@@ -1,0 +1,97 @@
+package fft
+
+import "fmt"
+
+// Plan2D computes 2-D DFTs of row-major rows×cols matrices by the
+// row-column method: transform the rows, transpose, transform the
+// (former) columns, transpose back. It exists both as a library feature
+// and as the serial seed of the paper's "generalize to higher-dimensional
+// FFTs" future-work direction.
+type Plan2D struct {
+	rows, cols int
+	rowPlan    *Plan
+	colPlan    *Plan
+}
+
+// NewPlan2D creates a plan for rows×cols transforms.
+func NewPlan2D(rows, cols int) (*Plan2D, error) {
+	if rows <= 0 || cols <= 0 {
+		return nil, fmt.Errorf("fft: 2-D dims must be positive, got %dx%d", rows, cols)
+	}
+	rp, err := NewPlan(cols) // transforms along a row have length cols
+	if err != nil {
+		return nil, err
+	}
+	cp, err := NewPlan(rows)
+	if err != nil {
+		return nil, err
+	}
+	return &Plan2D{rows: rows, cols: cols, rowPlan: rp, colPlan: cp}, nil
+}
+
+// Rows returns the row count.
+func (p *Plan2D) Rows() int { return p.rows }
+
+// Cols returns the column count.
+func (p *Plan2D) Cols() int { return p.cols }
+
+// Forward computes dst = DFT2(src); dst and src have rows*cols elements
+// in row-major order and may be the same slice.
+func (p *Plan2D) Forward(dst, src []complex128) {
+	p.apply(dst, src, false)
+}
+
+// Inverse computes the inverse 2-D DFT scaled by 1/(rows·cols).
+func (p *Plan2D) Inverse(dst, src []complex128) {
+	p.apply(dst, src, true)
+}
+
+func (p *Plan2D) apply(dst, src []complex128, inverse bool) {
+	n := p.rows * p.cols
+	if len(dst) != n || len(src) != n {
+		panic(fmt.Sprintf("fft: 2-D plan %dx%d needs %d elements, got dst %d src %d",
+			p.rows, p.cols, n, len(dst), len(src)))
+	}
+	row := func(pl *Plan, d, s []complex128) {
+		if inverse {
+			pl.Inverse(d, s)
+		} else {
+			pl.Forward(d, s)
+		}
+	}
+	// Rows.
+	tmp := make([]complex128, n)
+	for r := 0; r < p.rows; r++ {
+		row(p.rowPlan, tmp[r*p.cols:(r+1)*p.cols], src[r*p.cols:(r+1)*p.cols])
+	}
+	// Transpose, transform, transpose back.
+	tr := make([]complex128, n)
+	transpose2D(tr, tmp, p.rows, p.cols)
+	for c := 0; c < p.cols; c++ {
+		row(p.colPlan, tr[c*p.rows:(c+1)*p.rows], tr[c*p.rows:(c+1)*p.rows])
+	}
+	transpose2D(dst, tr, p.cols, p.rows)
+}
+
+// transpose2D writes dst[c*rows+r] = src[r*cols+c] with cache blocking.
+func transpose2D(dst, src []complex128, rows, cols int) {
+	const blk = 64
+	for rb := 0; rb < rows; rb += blk {
+		rEnd := rb + blk
+		if rEnd > rows {
+			rEnd = rows
+		}
+		for cb := 0; cb < cols; cb += blk {
+			cEnd := cb + blk
+			if cEnd > cols {
+				cEnd = cols
+			}
+			for r := rb; r < rEnd; r++ {
+				row := src[r*cols:]
+				for c := cb; c < cEnd; c++ {
+					dst[c*rows+r] = row[c]
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,111 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+)
+
+// direct2D is the O((rows·cols)²) 2-D DFT reference.
+func direct2D(dst, src []complex128, rows, cols int) {
+	for kr := 0; kr < rows; kr++ {
+		for kc := 0; kc < cols; kc++ {
+			var acc complex128
+			for r := 0; r < rows; r++ {
+				for c := 0; c < cols; c++ {
+					ang := -2 * math.Pi * (float64(r*kr)/float64(rows) + float64(c*kc)/float64(cols))
+					acc += src[r*cols+c] * cmplx.Exp(complex(0, ang))
+				}
+			}
+			dst[kr*cols+kc] = acc
+		}
+	}
+}
+
+func TestPlan2DMatchesDirect(t *testing.T) {
+	cases := []struct{ rows, cols int }{
+		{1, 1}, {2, 2}, {4, 8}, {8, 4}, {3, 5}, {16, 16}, {7, 12},
+	}
+	for _, c := range cases {
+		p, err := NewPlan2D(c.rows, c.cols)
+		if err != nil {
+			t.Fatalf("NewPlan2D(%d,%d): %v", c.rows, c.cols, err)
+		}
+		n := c.rows * c.cols
+		src := randomVec(n, int64(n))
+		want := make([]complex128, n)
+		direct2D(want, src, c.rows, c.cols)
+		got := make([]complex128, n)
+		p.Forward(got, src)
+		if e := relErr(got, want); e > 1e-10 {
+			t.Errorf("%dx%d: rel error %.3e", c.rows, c.cols, e)
+		}
+	}
+}
+
+func TestPlan2DRoundTrip(t *testing.T) {
+	p, err := NewPlan2D(12, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := randomVec(240, 3)
+	freq := make([]complex128, 240)
+	back := make([]complex128, 240)
+	p.Forward(freq, src)
+	p.Inverse(back, freq)
+	if e := maxAbsErr(back, src); e > 1e-11 {
+		t.Errorf("round trip error %.3e", e)
+	}
+}
+
+func TestPlan2DInPlace(t *testing.T) {
+	p, _ := NewPlan2D(8, 8)
+	src := randomVec(64, 4)
+	want := make([]complex128, 64)
+	p.Forward(want, src)
+	buf := append([]complex128(nil), src...)
+	p.Forward(buf, buf)
+	if e := maxAbsErr(buf, want); e > 1e-12 {
+		t.Errorf("in-place 2-D differs by %.3e", e)
+	}
+}
+
+func TestPlan2DImpulse(t *testing.T) {
+	p, _ := NewPlan2D(4, 6)
+	src := make([]complex128, 24)
+	src[0] = 1
+	got := make([]complex128, 24)
+	p.Forward(got, src)
+	for i, v := range got {
+		if cmplx.Abs(v-1) > 1e-13 {
+			t.Fatalf("impulse 2-D DFT[%d] = %v, want 1", i, v)
+		}
+	}
+}
+
+func TestPlan2DErrors(t *testing.T) {
+	if _, err := NewPlan2D(0, 4); err == nil {
+		t.Error("expected dims error")
+	}
+	p, _ := NewPlan2D(2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on wrong length")
+		}
+	}()
+	p.Forward(make([]complex128, 3), make([]complex128, 4))
+}
+
+func TestTranspose2D(t *testing.T) {
+	const rows, cols = 5, 9
+	src := randomVec(rows*cols, 7)
+	dst := make([]complex128, rows*cols)
+	transpose2D(dst, src, rows, cols)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if dst[c*rows+r] != src[r*cols+c] {
+				t.Fatalf("transpose mismatch at (%d,%d)", r, c)
+			}
+		}
+	}
+}

@@ -1,0 +1,139 @@
+package fft
+
+import (
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// quickConfig bounds the number of iterations so property tests stay fast.
+var quickConfig = &quick.Config{MaxCount: 40}
+
+// TestPropLinearity checks F(a*x + b*y) == a*F(x) + b*F(y) for random
+// lengths, coefficients and inputs.
+func TestPropLinearity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(300)
+		p, err := NewPlan(n)
+		if err != nil {
+			return false
+		}
+		x := randomVec(n, seed+1)
+		y := randomVec(n, seed+2)
+		a := complex(rng.Float64()*2-1, rng.Float64()*2-1)
+		b := complex(rng.Float64()*2-1, rng.Float64()*2-1)
+		comb := make([]complex128, n)
+		for i := range comb {
+			comb[i] = a*x[i] + b*y[i]
+		}
+		fx := make([]complex128, n)
+		fy := make([]complex128, n)
+		fc := make([]complex128, n)
+		p.Forward(fx, x)
+		p.Forward(fy, y)
+		p.Forward(fc, comb)
+		for i := range fc {
+			if cmplx.Abs(fc[i]-(a*fx[i]+b*fy[i])) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickConfig); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropConvolutionTheorem checks that pointwise product in frequency
+// equals cyclic convolution in time.
+func TestPropConvolutionTheorem(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(160)
+		p, err := NewPlan(n)
+		if err != nil {
+			return false
+		}
+		x := randomVec(n, seed+10)
+		h := randomVec(n, seed+20)
+		// Direct cyclic convolution.
+		conv := make([]complex128, n)
+		for i := 0; i < n; i++ {
+			var acc complex128
+			for j := 0; j < n; j++ {
+				acc += x[j] * h[(i-j+n)%n]
+			}
+			conv[i] = acc
+		}
+		fx := make([]complex128, n)
+		fh := make([]complex128, n)
+		p.Forward(fx, x)
+		p.Forward(fh, h)
+		for i := range fx {
+			fx[i] *= fh[i]
+		}
+		viaFFT := make([]complex128, n)
+		p.Inverse(viaFFT, fx)
+		return relErr(viaFFT, conv) < 1e-9
+	}
+	if err := quick.Check(f, quickConfig); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropShiftTheorem checks that a cyclic time shift multiplies the
+// spectrum by a linear phase.
+func TestPropShiftTheorem(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(200)
+		shift := rng.Intn(n)
+		p, err := NewPlan(n)
+		if err != nil {
+			return false
+		}
+		x := randomVec(n, seed+30)
+		shifted := make([]complex128, n)
+		for i := range shifted {
+			shifted[i] = x[(i-shift+n)%n]
+		}
+		fx := make([]complex128, n)
+		fs := make([]complex128, n)
+		p.Forward(fx, x)
+		p.Forward(fs, shifted)
+		for k := range fx {
+			phase := cmplx.Exp(complex(0, -2*3.141592653589793*float64((k*shift)%n)/float64(n)))
+			if cmplx.Abs(fs[k]-fx[k]*phase) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickConfig); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropRoundTripRandomLengths fuzzes forward/inverse consistency over
+// arbitrary lengths, including Bluestein ones.
+func TestPropRoundTripRandomLengths(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(2000)
+		p, err := NewPlan(n)
+		if err != nil {
+			return false
+		}
+		x := randomVec(n, seed+40)
+		fx := make([]complex128, n)
+		back := make([]complex128, n)
+		p.Forward(fx, x)
+		p.Inverse(back, fx)
+		return maxAbsErr(back, x) < 1e-9
+	}
+	if err := quick.Check(f, quickConfig); err != nil {
+		t.Error(err)
+	}
+}

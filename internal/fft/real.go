@@ -1,0 +1,97 @@
+package fft
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// RealPlan transforms real-valued input of even length n using one
+// complex transform of length n/2 plus an O(n) untangling pass — the
+// standard packing trick. The forward output is the non-redundant half
+// spectrum X[0..n/2] (n/2+1 bins); the remaining bins follow from the
+// conjugate symmetry X[n−k] = conj(X[k]).
+type RealPlan struct {
+	n    int
+	half *Plan
+	tw   []complex128 // e^{-i2πk/n}, k = 0..n/2-1
+}
+
+// NewRealPlan creates a real-input plan for even length n ≥ 2.
+func NewRealPlan(n int) (*RealPlan, error) {
+	if n < 2 || n%2 != 0 {
+		return nil, fmt.Errorf("fft: real transform needs even length ≥ 2, got %d", n)
+	}
+	half, err := NewPlan(n / 2)
+	if err != nil {
+		return nil, err
+	}
+	tw := make([]complex128, n/2)
+	for k := range tw {
+		tw[k] = cmplx.Exp(complex(0, -2*math.Pi*float64(k)/float64(n)))
+	}
+	return &RealPlan{n: n, half: half, tw: tw}, nil
+}
+
+// N returns the (real) transform length.
+func (p *RealPlan) N() int { return p.n }
+
+// Forward computes the half spectrum of src: dst[k] = Σ_j src[j]·
+// exp(-i2πjk/n) for k = 0..n/2. len(src) must be n and len(dst) n/2+1.
+func (p *RealPlan) Forward(dst []complex128, src []float64) {
+	m := p.n / 2
+	if len(src) != p.n || len(dst) != m+1 {
+		panic(fmt.Sprintf("fft: real forward needs src %d dst %d, got %d/%d",
+			p.n, m+1, len(src), len(dst)))
+	}
+	z := make([]complex128, m)
+	for j := 0; j < m; j++ {
+		z[j] = complex(src[2*j], src[2*j+1])
+	}
+	p.half.Forward(z, z)
+	// Untangle: E[k] = (Z[k]+conj(Z[m−k]))/2 is the even subsequence's
+	// spectrum, O[k] = (Z[k]−conj(Z[m−k]))/(2i) the odd one's.
+	for k := 0; k <= m/2; k++ {
+		k2 := (m - k) % m
+		zk, zk2 := z[k], cmplx.Conj(z[k2])
+		e := (zk + zk2) / 2
+		o := (zk - zk2) / complex(0, 2)
+		dst[k] = e + p.tw[k]*o
+		if k2 != k {
+			e2 := cmplx.Conj(e) // E[m−k] = conj(E[k]) for real input
+			o2 := cmplx.Conj(o)
+			dst[k2] = e2 + p.tw[k2]*o2
+		}
+	}
+	// Nyquist bin: X[m] = E[0] − O[0].
+	z0 := z[0]
+	dst[m] = complex(real(z0)-imag(z0), 0)
+	dst[0] = complex(real(z0)+imag(z0), 0)
+}
+
+// Inverse reconstructs the real sequence from its half spectrum
+// (scaled by 1/n): len(src) must be n/2+1, len(dst) n.
+func (p *RealPlan) Inverse(dst []float64, src []complex128) {
+	m := p.n / 2
+	if len(dst) != p.n || len(src) != m+1 {
+		panic(fmt.Sprintf("fft: real inverse needs src %d dst %d, got %d/%d",
+			m+1, p.n, len(src), len(dst)))
+	}
+	z := make([]complex128, m)
+	for k := 0; k < m; k++ {
+		var xk2 complex128
+		if k == 0 {
+			xk2 = cmplx.Conj(src[m])
+		} else {
+			xk2 = cmplx.Conj(src[m-k])
+		}
+		e := (src[k] + xk2) / 2
+		o := (src[k] - xk2) / 2 * cmplx.Conj(p.tw[k])
+		z[k] = e + complex(0, 1)*o
+	}
+	p.half.Inverse(z, z)
+	for j := 0; j < m; j++ {
+		dst[2*j] = real(z[j])
+		dst[2*j+1] = imag(z[j])
+	}
+}

@@ -1,0 +1,91 @@
+package fft
+
+import (
+	"math/cmplx"
+	"math/rand"
+	"testing"
+)
+
+func randomReal(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = rng.Float64()*2 - 1
+	}
+	return v
+}
+
+func TestRealForwardMatchesComplex(t *testing.T) {
+	for _, n := range []int{2, 4, 6, 8, 10, 16, 30, 64, 100, 128, 1024} {
+		rp, err := NewRealPlan(n)
+		if err != nil {
+			t.Fatalf("NewRealPlan(%d): %v", n, err)
+		}
+		src := randomReal(n, int64(n))
+		// Reference: complex transform of the real-extended input.
+		csrc := make([]complex128, n)
+		for i, v := range src {
+			csrc[i] = complex(v, 0)
+		}
+		want := make([]complex128, n)
+		Direct(want, csrc)
+
+		got := make([]complex128, n/2+1)
+		rp.Forward(got, src)
+		for k := 0; k <= n/2; k++ {
+			if d := cmplx.Abs(got[k] - want[k]); d > 1e-10 {
+				t.Errorf("n=%d: bin %d differs by %.3e", n, k, d)
+			}
+		}
+	}
+}
+
+func TestRealRoundTrip(t *testing.T) {
+	for _, n := range []int{2, 8, 30, 128, 1000} {
+		rp, err := NewRealPlan(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		src := randomReal(n, int64(n)+5)
+		spec := make([]complex128, n/2+1)
+		back := make([]float64, n)
+		rp.Forward(spec, src)
+		rp.Inverse(back, spec)
+		for i := range src {
+			if d := back[i] - src[i]; d > 1e-11 || d < -1e-11 {
+				t.Errorf("n=%d: element %d off by %.3e", n, i, d)
+				break
+			}
+		}
+	}
+}
+
+func TestRealPlanErrors(t *testing.T) {
+	for _, n := range []int{0, 1, 3, 7, -4} {
+		if _, err := NewRealPlan(n); err == nil {
+			t.Errorf("NewRealPlan(%d): expected error", n)
+		}
+	}
+	rp, _ := NewRealPlan(8)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on length mismatch")
+		}
+	}()
+	rp.Forward(make([]complex128, 3), make([]float64, 8))
+}
+
+func TestRealSymmetryProperties(t *testing.T) {
+	// The DC and Nyquist bins of a real signal are real.
+	const n = 64
+	rp, _ := NewRealPlan(n)
+	src := randomReal(n, 77)
+	spec := make([]complex128, n/2+1)
+	rp.Forward(spec, src)
+	if imag(spec[0]) != 0 {
+		t.Errorf("DC bin has imaginary part %g", imag(spec[0]))
+	}
+	if imag(spec[n/2]) != 0 {
+		t.Errorf("Nyquist bin has imaginary part %g", imag(spec[n/2]))
+	}
+}

@@ -1,0 +1,106 @@
+package fft
+
+import (
+	"testing"
+)
+
+// runStages executes a hand-chosen radix decomposition through the same
+// ping-pong the production path uses, so different factorizations of the
+// same length can be cross-checked.
+func runStages(n int, radices []int, src []complex128) []complex128 {
+	prod := 1
+	for _, r := range radices {
+		prod *= r
+	}
+	if prod != n {
+		panic("radices do not factor n")
+	}
+	stages := buildStages(n, radices)
+	dst := make([]complex128, n)
+	scratch := make([]complex128, n)
+	k := len(stages)
+	if k == 0 {
+		copy(dst, src)
+		return dst
+	}
+	var x, y []complex128
+	if k%2 == 1 {
+		y = dst
+	} else {
+		y = scratch
+	}
+	x = src
+	for i := 0; i < k; i++ {
+		applyStage(&stages[i], x, y)
+		if i == 0 {
+			if k%2 == 1 {
+				x, y = dst, scratch
+			} else {
+				x, y = scratch, dst
+			}
+		} else {
+			x, y = y, x
+		}
+	}
+	return dst
+}
+
+// TestRadixDecompositionsAgree runs several factorizations of the same
+// length — pure radix-2, radix-4, radix-8, mixed, and composite radices
+// through the generic kernel — and checks all against the direct DFT.
+func TestRadixDecompositionsAgree(t *testing.T) {
+	cases := map[int][][]int{
+		64: {
+			{2, 2, 2, 2, 2, 2},
+			{4, 4, 4},
+			{8, 8},
+			{8, 4, 2},
+			{16, 4}, // composite radix 16 exercises the generic kernel
+		},
+		360: {
+			{8, 45},
+			{2, 4, 45},
+			{5, 8, 9},
+			{3, 3, 5, 8},
+			{6, 6, 10},
+		},
+		625: {
+			{5, 5, 5, 5},
+			{25, 25},
+		},
+	}
+	for n, decomps := range cases {
+		src := randomVec(n, int64(n))
+		want := make([]complex128, n)
+		Direct(want, src)
+		for _, radices := range decomps {
+			got := runStages(n, radices, src)
+			if e := relErr(got, want); e > 1e-10 {
+				t.Errorf("n=%d radices %v: rel err %.3e", n, radices, e)
+			}
+		}
+	}
+}
+
+// TestStageRangeSplitMatchesWhole verifies that applying a stage in two
+// chunks reproduces the single-pass result exactly (the invariant the
+// parallel path relies on).
+func TestStageRangeSplitMatchesWhole(t *testing.T) {
+	const n = 480
+	stages := buildStages(n, []int{4, 4, 10, 3})
+	src := randomVec(n, 9)
+	for i := range stages {
+		st := &stages[i]
+		whole := make([]complex128, n)
+		applyStage(st, src, whole)
+		split := make([]complex128, n)
+		mid := st.m / 3
+		applyStageRange(st, src, split, 0, mid)
+		applyStageRange(st, src, split, mid, st.m)
+		for j := range whole {
+			if whole[j] != split[j] {
+				t.Fatalf("stage %d (radix %d): split differs at %d", i, st.radix, j)
+			}
+		}
+	}
+}

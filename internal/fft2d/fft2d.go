@@ -1,0 +1,171 @@
+// Package fft2d implements a distributed 2-D FFT over a 2-D process
+// grid (pencil decomposition) — the serial 2-D transform's scalable
+// sibling, and the natural first step of the paper's Section 8 future
+// work ("generalize to higher-dimensional FFTs").
+//
+// A rows×cols matrix is block-distributed over a Pr×Pc rank grid: rank
+// (i, j) owns the submatrix [i·rows/Pr, (i+1)·rows/Pr) ×
+// [j·cols/Pc, (j+1)·cols/Pc). Each dimension is transformed by
+// redistributing *within* the corresponding grid communicator (row
+// groups of Pc ranks, column groups of Pr ranks) so each rank
+// temporarily holds complete lines, running node-local FFTs, and
+// redistributing back. All exchanges are subgroup all-to-alls; nothing
+// ever crosses the full machine at once — the communication structure
+// that makes multi-dimensional FFTs fundamentally cheaper than 1-D,
+// which is exactly why the paper's single-all-to-all 1-D result matters.
+package fft2d
+
+import (
+	"fmt"
+
+	"soifft/internal/fft"
+	"soifft/internal/mpi"
+)
+
+// Grid describes the process grid and the matrix it distributes.
+type Grid struct {
+	Rows, Cols int // global matrix shape
+	Pr, Pc     int // process grid shape; world size must equal Pr·Pc
+}
+
+// NewGrid validates the divisibility constraints of the pencil layout.
+func NewGrid(rows, cols, pr, pc int) (Grid, error) {
+	g := Grid{Rows: rows, Cols: cols, Pr: pr, Pc: pc}
+	switch {
+	case rows <= 0 || cols <= 0 || pr <= 0 || pc <= 0:
+		return g, fmt.Errorf("fft2d: all dimensions must be positive")
+	case rows%pr != 0:
+		return g, fmt.Errorf("fft2d: Pr=%d must divide rows=%d", pr, rows)
+	case cols%pc != 0:
+		return g, fmt.Errorf("fft2d: Pc=%d must divide cols=%d", pc, cols)
+	case (rows/pr)%pc != 0:
+		return g, fmt.Errorf("fft2d: Pc=%d must divide the local row count %d", pc, rows/pr)
+	case (cols/pc)%pr != 0:
+		return g, fmt.Errorf("fft2d: Pr=%d must divide the local column count %d", pr, cols/pc)
+	}
+	return g, nil
+}
+
+// LocalRows returns the per-rank row count rows/Pr.
+func (g Grid) LocalRows() int { return g.Rows / g.Pr }
+
+// LocalCols returns the per-rank column count cols/Pc.
+func (g Grid) LocalCols() int { return g.Cols / g.Pc }
+
+// Coords returns the grid coordinates (i, j) of a world rank.
+func (g Grid) Coords(rank int) (int, int) { return rank / g.Pc, rank % g.Pc }
+
+// Forward computes the 2-D DFT of the distributed matrix: local is rank
+// (i,j)'s LocalRows()×LocalCols() block in row-major order; the result
+// has the same distribution. Four subgroup all-to-alls.
+func (g Grid) Forward(c *mpi.Comm, local []complex128) ([]complex128, error) {
+	return g.transform(c, local, false)
+}
+
+// Inverse computes the inverse 2-D DFT (scaled by 1/(rows·cols)).
+func (g Grid) Inverse(c *mpi.Comm, local []complex128) ([]complex128, error) {
+	return g.transform(c, local, true)
+}
+
+func (g Grid) transform(c *mpi.Comm, local []complex128, inverse bool) ([]complex128, error) {
+	if c.Size() != g.Pr*g.Pc {
+		return nil, fmt.Errorf("fft2d: grid %dx%d needs %d ranks, world has %d",
+			g.Pr, g.Pc, g.Pr*g.Pc, c.Size())
+	}
+	lr, lc := g.LocalRows(), g.LocalCols()
+	if len(local) != lr*lc {
+		return nil, fmt.Errorf("fft2d: local block must be %d elements, got %d", lr*lc, len(local))
+	}
+	i, j := g.Coords(c.Rank())
+
+	// Row phase: within the row communicator (ranks sharing i), gather
+	// complete rows, transform, scatter back.
+	rowComm := c.Split(i, j)
+	a, err := lineFFT(rowComm, local, lr, lc, g.Cols, inverse)
+	if err != nil {
+		return nil, err
+	}
+
+	// Column phase: transpose the local block so columns become rows,
+	// run the same machinery in the column communicator, transpose back.
+	colComm := c.Split(j, i) // ranks sharing column j, ordered by row index
+	at := make([]complex128, lr*lc)
+	localTranspose(at, a, lr, lc)
+	bt, err := lineFFT(colComm, at, lc, lr, g.Rows, inverse)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]complex128, lr*lc)
+	localTranspose(out, bt, lc, lr)
+	return out, nil
+}
+
+// lineFFT transforms the distributed lines of one dimension: each rank
+// holds nLines local lines of seg elements; the group's ranks together
+// hold complete lines of length full = seg·groupSize. Redistribute so
+// each rank owns nLines/groupSize complete lines, FFT them, and
+// redistribute back. Two subgroup all-to-alls.
+func lineFFT(sc *mpi.SubComm, local []complex128, nLines, seg, full int, inverse bool) ([]complex128, error) {
+	gs := sc.Size()
+	if seg*gs != full {
+		return nil, fmt.Errorf("fft2d: line segments %d×%d != full length %d", seg, gs, full)
+	}
+	per := nLines / gs // complete lines each rank owns mid-phase
+	if per*gs != nLines {
+		return nil, fmt.Errorf("fft2d: group size %d must divide local lines %d", gs, nLines)
+	}
+	chunk := per * seg
+
+	// Pack: destination t gets my segment of its line subset
+	// [t·per, (t+1)·per), line-major.
+	send := make([]complex128, nLines*seg)
+	for t := 0; t < gs; t++ {
+		for l := 0; l < per; l++ {
+			srcLine := t*per + l
+			copy(send[t*chunk+l*seg:t*chunk+(l+1)*seg], local[srcLine*seg:(srcLine+1)*seg])
+		}
+	}
+	recv := sc.Alltoall(send, chunk)
+
+	// Assemble complete lines: line l, segment from group rank r.
+	lines := make([]complex128, per*full)
+	for r := 0; r < gs; r++ {
+		for l := 0; l < per; l++ {
+			copy(lines[l*full+r*seg:l*full+(r+1)*seg], recv[r*chunk+l*seg:r*chunk+(l+1)*seg])
+		}
+	}
+	plan, err := fft.CachedPlan(full)
+	if err != nil {
+		return nil, err
+	}
+	if inverse {
+		plan.InverseBatch(lines, lines, per)
+	} else {
+		plan.Batch(lines, lines, per)
+	}
+
+	// Scatter back: group rank r gets segment r of each of my lines.
+	back := make([]complex128, per*full)
+	for r := 0; r < gs; r++ {
+		for l := 0; l < per; l++ {
+			copy(back[r*chunk+l*seg:r*chunk+(l+1)*seg], lines[l*full+r*seg:l*full+(r+1)*seg])
+		}
+	}
+	recv2 := sc.Alltoall(back, chunk)
+	out := make([]complex128, nLines*seg)
+	for t := 0; t < gs; t++ {
+		for l := 0; l < per; l++ {
+			dstLine := t*per + l
+			copy(out[dstLine*seg:(dstLine+1)*seg], recv2[t*chunk+l*seg:t*chunk+(l+1)*seg])
+		}
+	}
+	return out, nil
+}
+
+func localTranspose(dst, src []complex128, rows, cols int) {
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			dst[c*rows+r] = src[r*cols+c]
+		}
+	}
+}

@@ -1,0 +1,239 @@
+// Package fft32 is a single-precision (complex64) FFT engine. The paper's
+// Section 7.3 argues that a 6-digit single-precision library's best-case
+// speedup (half the bytes on the wire) is matched by 10-digit
+// double-precision SOI; this package provides the measured single-
+// precision accuracy side of that comparison, and gives the library a
+// storage-efficient transform for callers who can live with ~6-7 digits.
+//
+// The implementation is a compact mixed-radix Stockham engine: radix
+// 2 and 4 fast paths plus a generic small-prime kernel (factors up to
+// 31). Twiddles are computed in float64 and rounded once, so the only
+// precision loss is the complex64 arithmetic itself.
+package fft32
+
+import (
+	"fmt"
+	"math"
+)
+
+const maxSmallPrime = 31
+
+type stage struct {
+	radix int
+	m     int
+	s     int
+	tw    []complex64
+	wr    []complex64
+}
+
+// Plan holds precomputed tables for complex64 transforms of one length.
+// Plans are safe for concurrent use when callers supply distinct buffers.
+type Plan struct {
+	n      int
+	stages []stage
+}
+
+// NewPlan creates a single-precision plan. The length must factor into
+// primes ≤ 31 (no Bluestein fallback at this precision — the chirp
+// products would cost most of the 24-bit mantissa).
+func NewPlan(n int) (*Plan, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("fft32: length must be positive, got %d", n)
+	}
+	radices, rem := factorize(n)
+	if rem != 1 {
+		return nil, fmt.Errorf("fft32: length %d has prime factor > %d; single-precision plans need smooth lengths", n, maxSmallPrime)
+	}
+	p := &Plan{n: n}
+	cur, s := n, 1
+	for _, r := range radices {
+		m := cur / r
+		st := stage{radix: r, m: m, s: s}
+		st.tw = make([]complex64, m*(r-1))
+		theta := -2 * math.Pi / float64(cur)
+		for q := 0; q < m; q++ {
+			for u := 1; u < r; u++ {
+				ang := theta * float64(q*u)
+				st.tw[q*(r-1)+u-1] = complex64(complex(math.Cos(ang), math.Sin(ang)))
+			}
+		}
+		if r != 2 && r != 4 { // the generic kernel needs the radix roots
+			st.wr = make([]complex64, r)
+			for t := 0; t < r; t++ {
+				ang := -2 * math.Pi * float64(t) / float64(r)
+				st.wr[t] = complex64(complex(math.Cos(ang), math.Sin(ang)))
+			}
+		}
+		p.stages = append(p.stages, st)
+		cur = m
+		s *= r
+	}
+	return p, nil
+}
+
+// N returns the transform length.
+func (p *Plan) N() int { return p.n }
+
+func factorize(n int) (radices []int, rem int) {
+	rem = n
+	e2 := 0
+	for rem%2 == 0 {
+		rem /= 2
+		e2++
+	}
+	for ; e2 >= 2; e2 -= 2 {
+		radices = append(radices, 4)
+	}
+	if e2 == 1 {
+		radices = append(radices, 2)
+	}
+	for f := 3; f <= maxSmallPrime; f += 2 {
+		for rem%f == 0 {
+			rem /= f
+			radices = append(radices, f)
+		}
+	}
+	return radices, rem
+}
+
+// Forward computes the forward DFT of src into dst (both length n; dst
+// must not alias src unless identical, which is handled via a copy).
+func (p *Plan) Forward(dst, src []complex64) {
+	if len(dst) != p.n || len(src) != p.n {
+		panic(fmt.Sprintf("fft32: plan length %d, got dst %d src %d", p.n, len(dst), len(src)))
+	}
+	if len(p.stages) == 0 {
+		dst[0] = src[0]
+		return
+	}
+	if &dst[0] == &src[0] {
+		tmp := make([]complex64, p.n)
+		copy(tmp, src)
+		p.run(dst, tmp)
+		return
+	}
+	p.run(dst, src)
+}
+
+// Inverse computes the 1/n-scaled inverse DFT.
+func (p *Plan) Inverse(dst, src []complex64) {
+	tmp := make([]complex64, p.n)
+	for i, v := range src {
+		tmp[i] = complex(real(v), -imag(v))
+	}
+	p.Forward(dst, tmp)
+	inv := float32(1) / float32(p.n)
+	for i, v := range dst {
+		dst[i] = complex(real(v)*inv, -imag(v)*inv)
+	}
+}
+
+func (p *Plan) run(dst, src []complex64) {
+	k := len(p.stages)
+	if k == 1 {
+		applyStage(&p.stages[0], src, dst)
+		return
+	}
+	scratch := make([]complex64, p.n)
+	var x, y []complex64
+	if k%2 == 1 {
+		y = dst
+	} else {
+		y = scratch
+	}
+	x = src
+	for i := 0; i < k; i++ {
+		applyStage(&p.stages[i], x, y)
+		if i == 0 {
+			if k%2 == 1 {
+				x, y = dst, scratch
+			} else {
+				x, y = scratch, dst
+			}
+		} else {
+			x, y = y, x
+		}
+	}
+}
+
+func applyStage(st *stage, x, y []complex64) {
+	switch st.radix {
+	case 2:
+		m, s := st.m, st.s
+		for p := 0; p < m; p++ {
+			w1 := st.tw[p]
+			x0, x1 := x[s*p:], x[s*(p+m):]
+			yp := y[s*2*p:]
+			for q := 0; q < s; q++ {
+				a, b := x0[q], x1[q]
+				yp[q] = a + b
+				yp[q+s] = (a - b) * w1
+			}
+		}
+	case 4:
+		m, s := st.m, st.s
+		for p := 0; p < m; p++ {
+			w1, w2, w3 := st.tw[p*3], st.tw[p*3+1], st.tw[p*3+2]
+			x0, x1 := x[s*p:], x[s*(p+m):]
+			x2, x3 := x[s*(p+2*m):], x[s*(p+3*m):]
+			yp := y[s*4*p:]
+			for q := 0; q < s; q++ {
+				a, b, c, d := x0[q], x1[q], x2[q], x3[q]
+				t0, t1 := a+c, a-c
+				t2 := b + d
+				bd := b - d
+				t3 := complex(imag(bd), -real(bd))
+				yp[q] = t0 + t2
+				yp[q+s] = (t1 + t3) * w1
+				yp[q+2*s] = (t0 - t2) * w2
+				yp[q+3*s] = (t1 - t3) * w3
+			}
+		}
+	default:
+		r, m, s := st.radix, st.m, st.s
+		a := make([]complex64, r)
+		for p := 0; p < m; p++ {
+			for q := 0; q < s; q++ {
+				for t := 0; t < r; t++ {
+					a[t] = x[q+s*(p+m*t)]
+				}
+				base := q + s*r*p
+				sum := a[0]
+				for t := 1; t < r; t++ {
+					sum += a[t]
+				}
+				y[base] = sum
+				for u := 1; u < r; u++ {
+					acc := a[0]
+					idx := 0
+					for t := 1; t < r; t++ {
+						idx += u
+						if idx >= r {
+							idx -= r
+						}
+						acc += a[t] * st.wr[idx]
+					}
+					y[base+s*u] = acc * st.tw[p*(r-1)+u-1]
+				}
+			}
+		}
+	}
+}
+
+// FromComplex128 converts a double-precision vector (rounding once).
+func FromComplex128(x []complex128) []complex64 {
+	out := make([]complex64, len(x))
+	for i, v := range x {
+		out[i] = complex64(v)
+	}
+	return out
+}
+
+// ToComplex128 widens a single-precision vector.
+func ToComplex128(x []complex64) []complex128 {
+	out := make([]complex128, len(x))
+	for i, v := range x {
+		out[i] = complex128(v)
+	}
+	return out
+}

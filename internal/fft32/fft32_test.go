@@ -1,0 +1,113 @@
+package fft32
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"soifft/internal/fft"
+	"soifft/internal/signal"
+)
+
+func TestForwardMatchesDoubleEngine(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8, 12, 30, 64, 100, 240, 1024, 3 * 1024} {
+		p, err := NewPlan(n)
+		if err != nil {
+			t.Fatalf("NewPlan(%d): %v", n, err)
+		}
+		src64 := signal.Random(n, int64(n))
+		src := FromComplex128(src64)
+		want := make([]complex128, n)
+		fft.Direct(want, src64)
+		dst := make([]complex64, n)
+		p.Forward(dst, src)
+		got := ToComplex128(dst)
+		// Single precision: expect ~1e-6 relative accuracy scaled by √n.
+		tol := 5e-6 * math.Sqrt(float64(n))
+		if e := signal.RelErrL2(got, want); e > tol {
+			t.Errorf("n=%d: rel err %.3e > %.3e", n, e, tol)
+		}
+	}
+}
+
+func TestSinglePrecisionDigits(t *testing.T) {
+	// The Section 7.3 premise: single precision delivers ~6-7 digits.
+	const n = 1 << 16
+	p, err := NewPlan(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src64 := signal.Random(n, 9)
+	ref, err := fft.Forward(src64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]complex64, n)
+	p.Forward(dst, FromComplex128(src64))
+	snr := signal.SNRdB(ToComplex128(dst), ref)
+	digits := signal.DBToDigits(snr)
+	if digits < 5 || digits > 8.5 {
+		t.Errorf("single-precision FFT at N=%d: %.1f digits (SNR %.0f dB); expected ~6-7", n, digits, snr)
+	}
+}
+
+func TestInverseRoundTrip(t *testing.T) {
+	for _, n := range []int{8, 60, 512, 1000} {
+		p, err := NewPlan(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		src := FromComplex128(signal.Random(n, int64(n)+3))
+		freq := make([]complex64, n)
+		back := make([]complex64, n)
+		p.Forward(freq, src)
+		p.Inverse(back, freq)
+		for i := range src {
+			if d := cmplx.Abs(complex128(back[i] - src[i])); d > 1e-4 {
+				t.Errorf("n=%d: element %d off by %.3e", n, i, d)
+				break
+			}
+		}
+	}
+}
+
+func TestInPlace(t *testing.T) {
+	const n = 256
+	p, _ := NewPlan(n)
+	src := FromComplex128(signal.Random(n, 5))
+	want := make([]complex64, n)
+	p.Forward(want, src)
+	buf := append([]complex64(nil), src...)
+	p.Forward(buf, buf)
+	for i := range want {
+		if buf[i] != want[i] {
+			t.Fatalf("in-place differs at %d", i)
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := NewPlan(0); err == nil {
+		t.Error("expected error for n=0")
+	}
+	if _, err := NewPlan(37 * 64); err == nil {
+		t.Error("expected error for large prime factor")
+	}
+	p, _ := NewPlan(8)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected length panic")
+		}
+	}()
+	p.Forward(make([]complex64, 4), make([]complex64, 8))
+}
+
+func TestConversionHelpers(t *testing.T) {
+	x := []complex128{1 + 2i, -3.5}
+	y := ToComplex128(FromComplex128(x))
+	for i := range x {
+		if cmplx.Abs(y[i]-x[i]) > 1e-6 {
+			t.Errorf("conversion round trip: %v vs %v", y[i], x[i])
+		}
+	}
+}

@@ -1,0 +1,207 @@
+package mpi
+
+import "fmt"
+
+// Collective tags live in a reserved band so they can never collide with
+// user point-to-point tags (which should be small non-negative ints).
+const (
+	tagBarrier = -(1 + iota)
+	tagBcast
+	tagReduce
+	tagGather
+	tagAllgather
+	tagAlltoall
+)
+
+// Barrier blocks until every rank has entered it. Implementation:
+// gather-to-root then broadcast, which is O(log R) rounds in message
+// depth through the binomial trees below.
+func (c *Comm) Barrier() {
+	if c.rank == 0 {
+		c.world.stats.barriers.Add(1)
+	}
+	c.reduceInternal(0, tagBarrier, complex(0, 0))
+	c.bcastInternal(0, tagBcast, nil)
+}
+
+// Bcast distributes root's payload to every rank and returns it (ranks
+// other than root pass data=nil).
+func (c *Comm) Bcast(root int, data any) any {
+	if c.rank == root {
+		c.world.stats.bcasts.Add(1)
+	}
+	return c.bcastInternal(root, tagBcast, data)
+}
+
+// bcastInternal runs a binomial-tree broadcast rooted at root.
+func (c *Comm) bcastInternal(root, tag int, data any) any {
+	size := c.world.size
+	// Rotate so the root is virtual rank 0.
+	vrank := (c.rank - root + size) % size
+	if vrank != 0 {
+		// Receive from parent: clear the lowest set bit.
+		parent := (vrank&(vrank-1) + root) % size
+		data = c.recv(parent, tag)
+	}
+	// Forward to children: set successively higher bits.
+	mask := 1
+	for mask < size {
+		if vrank&(mask-1) == 0 && vrank&mask == 0 {
+			child := vrank | mask
+			if child < size {
+				c.send((child+root)%size, tag, data)
+			}
+		}
+		mask <<= 1
+	}
+	return data
+}
+
+// Reduce combines one complex value per rank with + at the root and
+// returns the sum there (zero elsewhere).
+func (c *Comm) Reduce(root int, v complex128) complex128 {
+	if c.rank == root {
+		c.world.stats.reduces.Add(1)
+	}
+	if root != 0 {
+		// Fold through virtual rank 0 for simplicity of the tree math.
+		sum := c.reduceInternal(0, tagReduce, v)
+		if c.rank == 0 {
+			c.send(root, tagReduce, sum)
+		}
+		if c.rank == root {
+			return c.recv(0, tagReduce).(complex128)
+		}
+		return 0
+	}
+	return c.reduceInternal(0, tagReduce, v)
+}
+
+// Allreduce is Reduce followed by Bcast.
+func (c *Comm) Allreduce(v complex128) complex128 {
+	if c.rank == 0 {
+		c.world.stats.allreduces.Add(1)
+	}
+	sum := c.reduceInternal(0, tagReduce, v)
+	return c.bcastInternal(0, tagBcast, sum).(complex128)
+}
+
+// reduceInternal folds values up a binomial tree rooted at rank 0.
+func (c *Comm) reduceInternal(root, tag int, v complex128) complex128 {
+	size := c.world.size
+	vrank := c.rank
+	mask := 1
+	acc := v
+	for mask < size {
+		if vrank&mask != 0 {
+			c.send(vrank&^mask, tag, acc)
+			return 0
+		}
+		partner := vrank | mask
+		if partner < size {
+			acc += c.recv(partner, tag).(complex128)
+		}
+		mask <<= 1
+	}
+	_ = root
+	return acc
+}
+
+// Gather concatenates equal-length chunks at the root: the result at root
+// is size*len(chunk) elements ordered by rank; other ranks get nil.
+func (c *Comm) Gather(root int, chunk []complex128) []complex128 {
+	if c.rank == root {
+		c.world.stats.gathers.Add(1)
+	}
+	if c.rank != root {
+		c.send(root, tagGather, chunk)
+		return nil
+	}
+	out := make([]complex128, len(chunk)*c.world.size)
+	copy(out[c.rank*len(chunk):], chunk)
+	for r := 0; r < c.world.size; r++ {
+		if r == root {
+			continue
+		}
+		data := c.recv(r, tagGather).([]complex128)
+		if len(data) != len(chunk) {
+			panic(fmt.Sprintf("mpi: gather chunk length mismatch: %d vs %d", len(data), len(chunk)))
+		}
+		copy(out[r*len(chunk):], data)
+	}
+	return out
+}
+
+// Allgather gives every rank the concatenation of all chunks.
+func (c *Comm) Allgather(chunk []complex128) []complex128 {
+	if c.rank == 0 {
+		c.world.stats.allgathers.Add(1)
+	}
+	all := c.Gather(0, chunk)
+	res := c.bcastInternal(0, tagAllgather, all)
+	return res.([]complex128)
+}
+
+// Alltoall performs the equal-counts personalized exchange: send must be
+// size*chunk elements; chunk elements go to each rank; the returned slice
+// holds, in rank order, the chunk each rank sent to us. This is the
+// paper's "global transpose" primitive.
+func (c *Comm) Alltoall(send []complex128, chunk int) []complex128 {
+	counts := make([]int, c.world.size)
+	for i := range counts {
+		counts[i] = chunk
+	}
+	return c.Alltoallv(send, counts, counts)
+}
+
+// Alltoallv is Alltoall with per-destination counts. send holds the
+// outgoing chunks back-to-back in rank order with lengths sendCounts;
+// the result holds incoming chunks in rank order with lengths recvCounts.
+func (c *Comm) Alltoallv(send []complex128, sendCounts, recvCounts []int) []complex128 {
+	size := c.world.size
+	if len(sendCounts) != size || len(recvCounts) != size {
+		panic(fmt.Sprintf("mpi: alltoallv needs %d counts, got %d/%d", size, len(sendCounts), len(recvCounts)))
+	}
+	if c.rank == 0 {
+		c.world.stats.alltoalls.Add(1)
+	}
+	total := 0
+	offs := make([]int, size+1)
+	for r, n := range sendCounts {
+		offs[r] = total
+		total += n
+	}
+	offs[size] = total
+	if len(send) != total {
+		panic(fmt.Sprintf("mpi: alltoallv send length %d, counts sum %d", len(send), total))
+	}
+	// Post every send first (buffered, cannot block), then drain receives.
+	for r := 0; r < size; r++ {
+		if r == c.rank {
+			continue
+		}
+		chunk := send[offs[r]:offs[r+1]]
+		c.world.stats.alltoallBytes.Add(sizeOf(chunk))
+		c.send(r, tagAlltoall, chunk)
+	}
+	recvTotal := 0
+	roffs := make([]int, size+1)
+	for r, n := range recvCounts {
+		roffs[r] = recvTotal
+		recvTotal += n
+	}
+	roffs[size] = recvTotal
+	out := make([]complex128, recvTotal)
+	copy(out[roffs[c.rank]:roffs[c.rank+1]], send[offs[c.rank]:offs[c.rank+1]])
+	for r := 0; r < size; r++ {
+		if r == c.rank {
+			continue
+		}
+		data := c.recv(r, tagAlltoall).([]complex128)
+		if len(data) != recvCounts[r] {
+			panic(fmt.Sprintf("mpi: alltoallv expected %d from rank %d, got %d", recvCounts[r], r, len(data)))
+		}
+		copy(out[roffs[r]:roffs[r+1]], data)
+	}
+	return out
+}

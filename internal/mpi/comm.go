@@ -1,0 +1,63 @@
+package mpi
+
+import "fmt"
+
+// Comm is one rank's handle on the world. All methods must be called only
+// from that rank's goroutine.
+type Comm struct {
+	world *World
+	rank  int
+}
+
+// Rank returns this rank's id in [0, Size).
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the world size.
+func (c *Comm) Size() int { return c.world.size }
+
+// Send delivers data to rank `to` with a matching tag. Slice payloads are
+// copied; Send never blocks.
+func (c *Comm) Send(to, tag int, data any) {
+	c.send(to, tag, data)
+}
+
+// Recv blocks until the next message from rank `from` arrives and returns
+// its payload. The message's tag must equal tag.
+func (c *Comm) Recv(from, tag int) any {
+	return c.recv(from, tag)
+}
+
+// RecvC is Recv for []complex128 payloads.
+func (c *Comm) RecvC(from, tag int) []complex128 {
+	return c.recv(from, tag).([]complex128)
+}
+
+// Sendrecv exchanges payloads with two (possibly distinct) partners in a
+// deadlock-free way and returns the received payload.
+func (c *Comm) Sendrecv(to, sendTag int, data any, from, recvTag int) any {
+	c.world.stats.sendrecvs.Add(1)
+	c.send(to, sendTag, data)
+	return c.recv(from, recvTag)
+}
+
+// send counts every message at the wire level (collectives included) and
+// enqueues a copy of the payload.
+func (c *Comm) send(to, tag int, data any) {
+	if to < 0 || to >= c.world.size {
+		panic(fmt.Sprintf("mpi: send to invalid rank %d (size %d)", to, c.world.size))
+	}
+	c.world.stats.p2pMessages.Add(1)
+	c.world.stats.p2pBytes.Add(sizeOf(data))
+	c.world.boxes[c.rank*c.world.size+to].put(packet{tag: tag, data: copyPayload(data)})
+}
+
+func (c *Comm) recv(from, tag int) any {
+	if from < 0 || from >= c.world.size {
+		panic(fmt.Sprintf("mpi: recv from invalid rank %d (size %d)", from, c.world.size))
+	}
+	p, ok := c.world.boxes[from*c.world.size+c.rank].get(tag)
+	if !ok {
+		panic(&AbortError{Rank: c.rank})
+	}
+	return p.data
+}

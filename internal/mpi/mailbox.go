@@ -1,0 +1,63 @@
+package mpi
+
+import "sync"
+
+// packet is one in-flight message.
+type packet struct {
+	tag  int
+	data any
+}
+
+// mailbox is an unbounded FIFO queue of packets for one (sender,
+// receiver) pair. Unboundedness is essential: it gives MPI's buffered
+// standard-send semantics, so an SPMD exchange where every rank posts all
+// sends before any receive cannot deadlock.
+type mailbox struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	queue []packet
+	dead  bool // set when the world aborts; wakes blocked receivers
+}
+
+func newMailbox() *mailbox {
+	m := &mailbox{}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+func (m *mailbox) put(p packet) {
+	m.mu.Lock()
+	m.queue = append(m.queue, p)
+	m.mu.Unlock()
+	m.cond.Signal()
+}
+
+// get blocks for the next packet and checks its tag. A tag mismatch means
+// the SPMD program's sends and receives are mis-sequenced, which is a
+// programming error: it panics with a diagnostic.
+func (m *mailbox) get(tag int) (packet, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for len(m.queue) == 0 && !m.dead {
+		m.cond.Wait()
+	}
+	if m.dead && len(m.queue) == 0 {
+		return packet{}, false
+	}
+	p := m.queue[0]
+	// Drop the reference so the backing array can be collected.
+	m.queue[0] = packet{}
+	m.queue = m.queue[1:]
+	if p.tag != tag {
+		panic(&TagMismatchError{Want: tag, Got: p.tag})
+	}
+	return p, true
+}
+
+// kill wakes all blocked receivers; subsequent gets fail once drained.
+func (m *mailbox) kill() {
+	m.mu.Lock()
+	m.dead = true
+	m.mu.Unlock()
+	m.cond.Broadcast()
+}

@@ -1,0 +1,475 @@
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"math/cmplx"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+// worldSizes covers degenerate, power-of-two and odd sizes (binomial
+// trees must handle non-powers of two).
+var worldSizes = []int{1, 2, 3, 4, 5, 7, 8, 13, 16}
+
+func mustWorld(t *testing.T, size int) *World {
+	t.Helper()
+	w, err := NewWorld(size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestNewWorldRejectsBadSize(t *testing.T) {
+	for _, s := range []int{0, -1} {
+		if _, err := NewWorld(s); err == nil {
+			t.Errorf("NewWorld(%d): expected error", s)
+		}
+	}
+}
+
+func TestSendRecvRing(t *testing.T) {
+	for _, size := range worldSizes {
+		w := mustWorld(t, size)
+		err := w.Run(func(c *Comm) error {
+			next := (c.Rank() + 1) % size
+			prev := (c.Rank() - 1 + size) % size
+			c.Send(next, 7, []complex128{complex(float64(c.Rank()), 0)})
+			got := c.RecvC(prev, 7)
+			if len(got) != 1 || real(got[0]) != float64(prev) {
+				return fmt.Errorf("rank %d: got %v from %d", c.Rank(), got, prev)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Errorf("size %d: %v", size, err)
+		}
+	}
+}
+
+func TestSendCopiesPayload(t *testing.T) {
+	w := mustWorld(t, 2)
+	err := w.Run(func(c *Comm) error {
+		if c.Rank() == 0 {
+			buf := []complex128{1, 2, 3}
+			c.Send(1, 0, buf)
+			buf[0] = 99 // must not be visible to the receiver
+			return nil
+		}
+		got := c.RecvC(0, 0)
+		if got[0] != 1 {
+			return fmt.Errorf("send did not copy: got %v", got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMessageOrderPreserved(t *testing.T) {
+	w := mustWorld(t, 2)
+	err := w.Run(func(c *Comm) error {
+		const n = 100
+		if c.Rank() == 0 {
+			for i := 0; i < n; i++ {
+				c.Send(1, 3, []complex128{complex(float64(i), 0)})
+			}
+			return nil
+		}
+		for i := 0; i < n; i++ {
+			got := c.RecvC(0, 3)
+			if real(got[0]) != float64(i) {
+				return fmt.Errorf("message %d arrived out of order: %v", i, got)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendrecvExchange(t *testing.T) {
+	w := mustWorld(t, 4)
+	err := w.Run(func(c *Comm) error {
+		partner := c.Rank() ^ 1
+		got := c.Sendrecv(partner, 1, []complex128{complex(float64(c.Rank()), 0)}, partner, 1)
+		v := got.([]complex128)
+		if real(v[0]) != float64(partner) {
+			return fmt.Errorf("rank %d: exchange got %v", c.Rank(), v)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBarrierSynchronizes(t *testing.T) {
+	for _, size := range worldSizes {
+		w := mustWorld(t, size)
+		var phase atomic.Int64
+		err := w.Run(func(c *Comm) error {
+			phase.Add(1)
+			c.Barrier()
+			// After the barrier every rank must observe all arrivals.
+			if got := phase.Load(); got != int64(size) {
+				return fmt.Errorf("rank %d: phase %d after barrier, want %d", c.Rank(), got, size)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Errorf("size %d: %v", size, err)
+		}
+	}
+}
+
+func TestBcastFromEveryRoot(t *testing.T) {
+	for _, size := range []int{1, 3, 4, 7, 8} {
+		for root := 0; root < size; root++ {
+			w := mustWorld(t, size)
+			err := w.Run(func(c *Comm) error {
+				var payload any
+				if c.Rank() == root {
+					payload = []complex128{complex(float64(root), 1)}
+				}
+				got := c.Bcast(root, payload).([]complex128)
+				if got[0] != complex(float64(root), 1) {
+					return fmt.Errorf("rank %d: bcast got %v", c.Rank(), got)
+				}
+				return nil
+			})
+			if err != nil {
+				t.Errorf("size %d root %d: %v", size, root, err)
+			}
+		}
+	}
+}
+
+func TestReduceAndAllreduce(t *testing.T) {
+	for _, size := range worldSizes {
+		for root := 0; root < size; root += 2 {
+			w := mustWorld(t, size)
+			want := complex(float64(size*(size-1)/2), float64(size))
+			err := w.Run(func(c *Comm) error {
+				v := complex(float64(c.Rank()), 1)
+				sum := c.Reduce(root, v)
+				if c.Rank() == root && cmplx.Abs(sum-want) > 1e-12 {
+					return fmt.Errorf("reduce at root %d: %v want %v", root, sum, want)
+				}
+				all := c.Allreduce(v)
+				if cmplx.Abs(all-want) > 1e-12 {
+					return fmt.Errorf("allreduce rank %d: %v want %v", c.Rank(), all, want)
+				}
+				return nil
+			})
+			if err != nil {
+				t.Errorf("size %d root %d: %v", size, root, err)
+			}
+		}
+	}
+}
+
+func TestGatherAllgather(t *testing.T) {
+	for _, size := range worldSizes {
+		w := mustWorld(t, size)
+		err := w.Run(func(c *Comm) error {
+			chunk := []complex128{complex(float64(c.Rank()), 0), complex(0, float64(c.Rank()))}
+			all := c.Allgather(chunk)
+			if len(all) != 2*size {
+				return fmt.Errorf("allgather length %d", len(all))
+			}
+			for r := 0; r < size; r++ {
+				if all[2*r] != complex(float64(r), 0) || all[2*r+1] != complex(0, float64(r)) {
+					return fmt.Errorf("allgather chunk %d corrupt: %v", r, all[2*r:2*r+2])
+				}
+			}
+			g := c.Gather(1%size, chunk)
+			if c.Rank() == 1%size {
+				if len(g) != 2*size {
+					return fmt.Errorf("gather length %d", len(g))
+				}
+			} else if g != nil {
+				return fmt.Errorf("non-root gather returned data")
+			}
+			return nil
+		})
+		if err != nil {
+			t.Errorf("size %d: %v", size, err)
+		}
+	}
+}
+
+func TestAlltoallTransposesRankChunks(t *testing.T) {
+	for _, size := range worldSizes {
+		const chunk = 3
+		w := mustWorld(t, size)
+		err := w.Run(func(c *Comm) error {
+			send := make([]complex128, size*chunk)
+			for r := 0; r < size; r++ {
+				for k := 0; k < chunk; k++ {
+					send[r*chunk+k] = complex(float64(c.Rank()), float64(r*chunk+k))
+				}
+			}
+			got := c.Alltoall(send, chunk)
+			for r := 0; r < size; r++ {
+				for k := 0; k < chunk; k++ {
+					want := complex(float64(r), float64(c.Rank()*chunk+k))
+					if got[r*chunk+k] != want {
+						return fmt.Errorf("rank %d: from %d slot %d got %v want %v",
+							c.Rank(), r, k, got[r*chunk+k], want)
+					}
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Errorf("size %d: %v", size, err)
+		}
+	}
+}
+
+func TestAlltoallvUnequalCounts(t *testing.T) {
+	const size = 4
+	w := mustWorld(t, size)
+	err := w.Run(func(c *Comm) error {
+		// Rank r sends r+d+1 elements to rank d, value-tagged.
+		sendCounts := make([]int, size)
+		recvCounts := make([]int, size)
+		for d := 0; d < size; d++ {
+			sendCounts[d] = c.Rank() + d + 1
+			recvCounts[d] = d + c.Rank() + 1
+		}
+		var send []complex128
+		for d := 0; d < size; d++ {
+			for k := 0; k < sendCounts[d]; k++ {
+				send = append(send, complex(float64(c.Rank()*100+d), float64(k)))
+			}
+		}
+		got := c.Alltoallv(send, sendCounts, recvCounts)
+		idx := 0
+		for r := 0; r < size; r++ {
+			for k := 0; k < recvCounts[r]; k++ {
+				want := complex(float64(r*100+c.Rank()), float64(k))
+				if got[idx] != want {
+					return fmt.Errorf("rank %d: got[%d]=%v want %v", c.Rank(), idx, got[idx], want)
+				}
+				idx++
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatsCounting(t *testing.T) {
+	w := mustWorld(t, 4)
+	err := w.Run(func(c *Comm) error {
+		send := make([]complex128, 4*10)
+		c.Alltoall(send, 10)
+		c.Barrier()
+		if c.Rank() == 0 {
+			c.Send(1, 5, []complex128{1, 2})
+		}
+		if c.Rank() == 1 {
+			c.RecvC(0, 5)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := w.Stats()
+	if s.Alltoalls != 1 {
+		t.Errorf("Alltoalls = %d, want 1", s.Alltoalls)
+	}
+	// 4 ranks × 3 foreign destinations × 10 complex × 16 bytes.
+	if want := int64(4 * 3 * 10 * 16); s.AlltoallBytes != want {
+		t.Errorf("AlltoallBytes = %d, want %d", s.AlltoallBytes, want)
+	}
+	if s.Barriers != 1 {
+		t.Errorf("Barriers = %d, want 1", s.Barriers)
+	}
+	if s.P2PMessages == 0 || s.P2PBytes == 0 {
+		t.Error("expected nonzero wire counters")
+	}
+}
+
+func TestRunPropagatesError(t *testing.T) {
+	w := mustWorld(t, 3)
+	boom := errors.New("boom")
+	err := w.Run(func(c *Comm) error {
+		if c.Rank() == 2 {
+			return boom
+		}
+		// Other ranks block forever; the abort must wake them.
+		c.RecvC(2, 9)
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("Run error = %v, want boom", err)
+	}
+}
+
+func TestRunRecoversPanics(t *testing.T) {
+	w := mustWorld(t, 2)
+	err := w.Run(func(c *Comm) error {
+		if c.Rank() == 0 {
+			panic("kaboom")
+		}
+		c.RecvC(0, 1)
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected error from panicking rank")
+	}
+}
+
+func TestTagMismatchPanics(t *testing.T) {
+	w := mustWorld(t, 2)
+	err := w.Run(func(c *Comm) error {
+		if c.Rank() == 0 {
+			c.Send(1, 1, []complex128{1})
+			return nil
+		}
+		c.RecvC(0, 2) // wrong tag: must panic, surfaced as error
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected tag mismatch error")
+	}
+}
+
+func TestInvalidRankPanicsSurface(t *testing.T) {
+	w := mustWorld(t, 2)
+	if err := w.Run(func(c *Comm) error {
+		if c.Rank() == 0 {
+			c.Send(5, 0, nil)
+		}
+		return nil
+	}); err == nil {
+		t.Fatal("expected error for out-of-range destination")
+	}
+}
+
+// TestPropAlltoallIsPermutation: an all-to-all must move every element
+// exactly once — the multiset of values is preserved globally.
+func TestPropAlltoallIsPermutation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		size := 1 + rng.Intn(9)
+		chunk := 1 + rng.Intn(20)
+		w, err := NewWorld(size)
+		if err != nil {
+			return false
+		}
+		inSum := make([]complex128, size)
+		outSum := make([]complex128, size)
+		err = w.Run(func(c *Comm) error {
+			local := rand.New(rand.NewSource(seed + int64(c.Rank())))
+			send := make([]complex128, size*chunk)
+			var s complex128
+			for i := range send {
+				send[i] = complex(local.Float64(), local.Float64())
+				s += send[i]
+			}
+			inSum[c.Rank()] = s
+			got := c.Alltoall(send, chunk)
+			var o complex128
+			for _, v := range got {
+				o += v
+			}
+			outSum[c.Rank()] = o
+			return nil
+		})
+		if err != nil {
+			return false
+		}
+		var ti, to complex128
+		for r := 0; r < size; r++ {
+			ti += inSum[r]
+			to += outSum[r]
+		}
+		return cmplx.Abs(ti-to) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPairwiseAlltoallMatchesCollective(t *testing.T) {
+	for _, size := range worldSizes {
+		const chunk = 5
+		w := mustWorld(t, size)
+		err := w.Run(func(c *Comm) error {
+			send := make([]complex128, size*chunk)
+			for i := range send {
+				send[i] = complex(float64(c.Rank()), float64(i))
+			}
+			a := c.Alltoall(append([]complex128(nil), send...), chunk)
+			b := c.PairwiseAlltoall(send, chunk)
+			for i := range a {
+				if a[i] != b[i] {
+					return fmt.Errorf("rank %d: pairwise[%d]=%v collective=%v", c.Rank(), i, b[i], a[i])
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Errorf("size %d: %v", size, err)
+		}
+	}
+}
+
+func TestPairwiseAlltoallvUnequal(t *testing.T) {
+	const size = 5
+	w := mustWorld(t, size)
+	err := w.Run(func(c *Comm) error {
+		sendCounts := make([]int, size)
+		recvCounts := make([]int, size)
+		for d := 0; d < size; d++ {
+			sendCounts[d] = (c.Rank()+d)%3 + 1
+			recvCounts[d] = (d+c.Rank())%3 + 1
+		}
+		var send []complex128
+		for d := 0; d < size; d++ {
+			for k := 0; k < sendCounts[d]; k++ {
+				send = append(send, complex(float64(c.Rank()*10+d), float64(k)))
+			}
+		}
+		got := c.PairwiseAlltoallv(send, sendCounts, recvCounts)
+		idx := 0
+		for r := 0; r < size; r++ {
+			for k := 0; k < recvCounts[r]; k++ {
+				want := complex(float64(r*10+c.Rank()), float64(k))
+				if got[idx] != want {
+					return fmt.Errorf("rank %d: got[%d]=%v want %v", c.Rank(), idx, got[idx], want)
+				}
+				idx++
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPairwiseCountsAsOneAlltoall(t *testing.T) {
+	w := mustWorld(t, 4)
+	if err := w.Run(func(c *Comm) error {
+		c.PairwiseAlltoall(make([]complex128, 4*3), 3)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.Stats().Alltoalls; got != 1 {
+		t.Errorf("pairwise exchange counted as %d all-to-alls, want 1", got)
+	}
+}

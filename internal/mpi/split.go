@@ -1,0 +1,125 @@
+package mpi
+
+import (
+	"fmt"
+	"sort"
+)
+
+// SubComm is a communicator over a subset of a world's ranks, created by
+// Split. It offers the same collectives, implemented by delegating to
+// the parent world's mailboxes with translated ranks.
+type SubComm struct {
+	parent  *Comm
+	members []int // parent ranks, sorted by (key, parent rank)
+	rank    int   // this rank's index within members
+	tagBase int   // tag offset separating concurrent subcommunicators
+}
+
+const tagSplit = -1000
+
+// Split partitions the caller's world like MPI_Comm_split: every rank
+// calls Split with a color and key; ranks sharing a color form a
+// subcommunicator, ordered by key (ties broken by parent rank). The call
+// is collective over the whole world.
+func (c *Comm) Split(color, key int) *SubComm {
+	// Allgather the (color, key) pairs through the parent collectives.
+	pair := []complex128{complex(float64(color), float64(key))}
+	all := c.Allgather(pair)
+	type member struct{ rank, color, key int }
+	var mine []member
+	for r := 0; r < c.Size(); r++ {
+		col := int(real(all[r]))
+		if col != color {
+			continue
+		}
+		mine = append(mine, member{rank: r, color: col, key: int(imag(all[r]))})
+	}
+	sort.Slice(mine, func(i, j int) bool {
+		if mine[i].key != mine[j].key {
+			return mine[i].key < mine[j].key
+		}
+		return mine[i].rank < mine[j].rank
+	})
+	// A fixed tag base suffices: two distinct subcommunicators never
+	// share a (sender, receiver) pair unless they are the same group, and
+	// per-pair FIFO keeps sequential collectives ordered.
+	sc := &SubComm{parent: c, tagBase: tagSplit}
+	for i, m := range mine {
+		sc.members = append(sc.members, m.rank)
+		if m.rank == c.Rank() {
+			sc.rank = i
+		}
+	}
+	return sc
+}
+
+// Rank returns this rank's id within the subcommunicator.
+func (s *SubComm) Rank() int { return s.rank }
+
+// Size returns the subcommunicator's size.
+func (s *SubComm) Size() int { return len(s.members) }
+
+// Send delivers data to subcommunicator rank `to`.
+func (s *SubComm) Send(to, tag int, data any) {
+	s.parent.send(s.members[to], s.tagBase-tag, data)
+}
+
+// Recv blocks for the next message from subcommunicator rank `from`.
+func (s *SubComm) Recv(from, tag int) any {
+	return s.parent.recv(s.members[from], s.tagBase-tag)
+}
+
+// RecvC is Recv for []complex128 payloads.
+func (s *SubComm) RecvC(from, tag int) []complex128 {
+	return s.Recv(from, tag).([]complex128)
+}
+
+// Alltoall performs the equal-counts exchange within the subgroup.
+func (s *SubComm) Alltoall(send []complex128, chunk int) []complex128 {
+	size := len(s.members)
+	if len(send) != size*chunk {
+		panic(fmt.Sprintf("mpi: subcomm alltoall send length %d, want %d", len(send), size*chunk))
+	}
+	if s.rank == 0 {
+		s.parent.world.stats.alltoalls.Add(1)
+	}
+	for r := 0; r < size; r++ {
+		if r == s.rank {
+			continue
+		}
+		payload := send[r*chunk : (r+1)*chunk]
+		s.parent.world.stats.alltoallBytes.Add(sizeOf(payload))
+		s.Send(r, 1, payload)
+	}
+	out := make([]complex128, size*chunk)
+	copy(out[s.rank*chunk:(s.rank+1)*chunk], send[s.rank*chunk:(s.rank+1)*chunk])
+	for r := 0; r < size; r++ {
+		if r == s.rank {
+			continue
+		}
+		data := s.RecvC(r, 1)
+		copy(out[r*chunk:(r+1)*chunk], data)
+	}
+	return out
+}
+
+// Allgather concatenates equal-length chunks across the subgroup.
+func (s *SubComm) Allgather(chunk []complex128) []complex128 {
+	size := len(s.members)
+	for r := 0; r < size; r++ {
+		if r == s.rank {
+			continue
+		}
+		s.Send(r, 2, chunk)
+	}
+	out := make([]complex128, size*len(chunk))
+	copy(out[s.rank*len(chunk):], chunk)
+	for r := 0; r < size; r++ {
+		if r == s.rank {
+			continue
+		}
+		data := s.RecvC(r, 2)
+		copy(out[r*len(chunk):], data)
+	}
+	return out
+}

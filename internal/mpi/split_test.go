@@ -1,0 +1,97 @@
+package mpi
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestSplitFormsGroups(t *testing.T) {
+	// 6 ranks → colors {0,1} by parity: two groups of 3, ordered by key.
+	w := mustWorld(t, 6)
+	err := w.Run(func(c *Comm) error {
+		color := c.Rank() % 2
+		key := -c.Rank() // reverse order within the group
+		sc := c.Split(color, key)
+		if sc.Size() != 3 {
+			return fmt.Errorf("rank %d: subcomm size %d", c.Rank(), sc.Size())
+		}
+		// With negative keys, higher parent ranks come first.
+		wantRank := map[int]int{4: 0, 2: 1, 0: 2, 5: 0, 3: 1, 1: 2}[c.Rank()]
+		if sc.Rank() != wantRank {
+			return fmt.Errorf("rank %d: subcomm rank %d, want %d", c.Rank(), sc.Rank(), wantRank)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitSendRecv(t *testing.T) {
+	w := mustWorld(t, 4)
+	err := w.Run(func(c *Comm) error {
+		sc := c.Split(c.Rank()/2, c.Rank()) // pairs {0,1}, {2,3}
+		partner := 1 - sc.Rank()
+		sc.Send(partner, 3, []complex128{complex(float64(c.Rank()), 0)})
+		got := sc.RecvC(partner, 3)
+		wantParent := c.Rank() ^ 1
+		if real(got[0]) != float64(wantParent) {
+			return fmt.Errorf("rank %d: got %v, want from parent %d", c.Rank(), got, wantParent)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSubcommAlltoall(t *testing.T) {
+	// 6 ranks in two groups of 3; exchange within groups only.
+	w := mustWorld(t, 6)
+	err := w.Run(func(c *Comm) error {
+		g := c.Rank() / 3
+		sc := c.Split(g, c.Rank())
+		const chunk = 2
+		send := make([]complex128, sc.Size()*chunk)
+		for r := 0; r < sc.Size(); r++ {
+			for k := 0; k < chunk; k++ {
+				send[r*chunk+k] = complex(float64(c.Rank()), float64(r*chunk+k))
+			}
+		}
+		got := sc.Alltoall(send, chunk)
+		for r := 0; r < sc.Size(); r++ {
+			srcParent := g*3 + r
+			for k := 0; k < chunk; k++ {
+				want := complex(float64(srcParent), float64(sc.Rank()*chunk+k))
+				if got[r*chunk+k] != want {
+					return fmt.Errorf("rank %d: got[%d]=%v want %v", c.Rank(), r*chunk+k, got[r*chunk+k], want)
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSubcommAllgather(t *testing.T) {
+	w := mustWorld(t, 4)
+	err := w.Run(func(c *Comm) error {
+		sc := c.Split(c.Rank()%2, c.Rank())
+		all := sc.Allgather([]complex128{complex(float64(c.Rank()), 0)})
+		if len(all) != 2 {
+			return fmt.Errorf("allgather length %d", len(all))
+		}
+		for i, v := range all {
+			wantParent := c.Rank()%2 + 2*i
+			if real(v) != float64(wantParent) {
+				return fmt.Errorf("rank %d: all[%d]=%v want %d", c.Rank(), i, v, wantParent)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,100 @@
+package mpi
+
+import (
+	"fmt"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+)
+
+// TestCollectiveStress runs a randomized but rank-deterministic sequence
+// of mixed collectives and point-to-point traffic on one world and
+// cross-checks every result against a sequential oracle. This guards the
+// FIFO/tag-matching discipline that all higher layers rely on.
+func TestCollectiveStress(t *testing.T) {
+	const (
+		size   = 6
+		rounds = 60
+		seed   = 12345
+	)
+	// The op schedule must be identical on every rank (SPMD), so derive
+	// it from a shared seed before spawning.
+	sched := rand.New(rand.NewSource(seed))
+	type op struct {
+		kind  int
+		root  int
+		chunk int
+	}
+	ops := make([]op, rounds)
+	for i := range ops {
+		ops[i] = op{kind: sched.Intn(6), root: sched.Intn(size), chunk: 1 + sched.Intn(7)}
+	}
+
+	w := mustWorld(t, size)
+	err := w.Run(func(c *Comm) error {
+		val := func(i int) complex128 {
+			return complex(float64(c.Rank()*1000+i), float64(i))
+		}
+		for i, o := range ops {
+			switch o.kind {
+			case 0: // barrier
+				c.Barrier()
+			case 1: // bcast
+				var payload any
+				if c.Rank() == o.root {
+					payload = []complex128{val(i)}
+				}
+				got := c.Bcast(o.root, payload).([]complex128)
+				want := complex(float64(o.root*1000+i), float64(i))
+				if got[0] != want {
+					return fmt.Errorf("op %d bcast: got %v want %v", i, got[0], want)
+				}
+			case 2: // allreduce
+				got := c.Allreduce(val(i))
+				var want complex128
+				for r := 0; r < size; r++ {
+					want += complex(float64(r*1000+i), float64(i))
+				}
+				if cmplx.Abs(got-want) > 1e-9 {
+					return fmt.Errorf("op %d allreduce: got %v want %v", i, got, want)
+				}
+			case 3: // allgather
+				all := c.Allgather([]complex128{val(i)})
+				for r := 0; r < size; r++ {
+					if all[r] != complex(float64(r*1000+i), float64(i)) {
+						return fmt.Errorf("op %d allgather slot %d: %v", i, r, all[r])
+					}
+				}
+			case 4: // alltoall
+				send := make([]complex128, size*o.chunk)
+				for r := 0; r < size; r++ {
+					for k := 0; k < o.chunk; k++ {
+						send[r*o.chunk+k] = complex(float64(c.Rank()), float64(r*o.chunk+k))
+					}
+				}
+				got := c.Alltoall(send, o.chunk)
+				for r := 0; r < size; r++ {
+					for k := 0; k < o.chunk; k++ {
+						want := complex(float64(r), float64(c.Rank()*o.chunk+k))
+						if got[r*o.chunk+k] != want {
+							return fmt.Errorf("op %d alltoall: slot (%d,%d) %v want %v",
+								i, r, k, got[r*o.chunk+k], want)
+						}
+					}
+				}
+			case 5: // ring sendrecv
+				next := (c.Rank() + 1) % size
+				prev := (c.Rank() - 1 + size) % size
+				got := c.Sendrecv(next, 50+i, []complex128{val(i)}, prev, 50+i).([]complex128)
+				want := complex(float64(prev*1000+i), float64(i))
+				if got[0] != want {
+					return fmt.Errorf("op %d ring: got %v want %v", i, got[0], want)
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

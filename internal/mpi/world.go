@@ -1,0 +1,199 @@
+// Package mpi is an in-process message-passing runtime with MPI-shaped
+// semantics: a World of R ranks, each running the same SPMD function on
+// its own goroutine, communicating through point-to-point sends/receives
+// and collectives (Barrier, Bcast, Reduce, Allreduce, Gather, Allgather,
+// Alltoall, Alltoallv, Sendrecv).
+//
+// It substitutes for the MPI layer of the paper's implementation (Go has
+// no MPI ecosystem): the programming model, message matching and
+// communication patterns are preserved, and every byte that would cross
+// the wire is counted, so the interconnect models in internal/netsim can
+// price a run on the paper's fabrics.
+//
+// Semantics notes: sends are buffered and asynchronous (the payload is
+// copied, so buffers are immediately reusable); receives match per
+// (source, tag) in FIFO order. A rank returning an error aborts the
+// world, waking any blocked receivers.
+package mpi
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// TagMismatchError reports an out-of-sequence message, which indicates a
+// bug in the SPMD program.
+type TagMismatchError struct{ Want, Got int }
+
+func (e *TagMismatchError) Error() string {
+	return fmt.Sprintf("mpi: tag mismatch: receiver wants %d, next queued message has %d", e.Want, e.Got)
+}
+
+// AbortError is returned by Run for ranks interrupted by another rank's
+// failure.
+type AbortError struct{ Rank int }
+
+func (e *AbortError) Error() string {
+	return fmt.Sprintf("mpi: rank %d aborted: another rank failed", e.Rank)
+}
+
+// Stats aggregates communication volume over a world's lifetime.
+// Collective byte counts include every payload byte moved between
+// distinct ranks (self-copies are excluded, matching what a fabric would
+// carry).
+type Stats struct {
+	P2PMessages   int64
+	P2PBytes      int64
+	Barriers      int64
+	Bcasts        int64
+	Reduces       int64
+	Allreduces    int64
+	Gathers       int64
+	Allgathers    int64
+	Alltoalls     int64 // number of all-to-all collectives — the paper's key metric
+	AlltoallBytes int64 // inter-rank bytes carried by all-to-alls
+	Sendrecvs     int64
+}
+
+// World is a fixed-size set of ranks sharing mailboxes and counters.
+type World struct {
+	size  int
+	boxes []*mailbox // boxes[src*size+dst]
+
+	abortOnce sync.Once
+	aborted   atomic.Bool
+
+	stats struct {
+		p2pMessages, p2pBytes atomic.Int64
+		barriers, bcasts      atomic.Int64
+		reduces, allreduces   atomic.Int64
+		gathers, allgathers   atomic.Int64
+		alltoalls             atomic.Int64
+		alltoallBytes         atomic.Int64
+		sendrecvs             atomic.Int64
+	}
+}
+
+// NewWorld creates a world of size ranks.
+func NewWorld(size int) (*World, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("mpi: world size must be positive, got %d", size)
+	}
+	w := &World{size: size, boxes: make([]*mailbox, size*size)}
+	for i := range w.boxes {
+		w.boxes[i] = newMailbox()
+	}
+	return w, nil
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return w.size }
+
+// Run executes fn once per rank, each on its own goroutine, and waits for
+// all of them. The first non-nil error aborts the world (blocked
+// receivers are woken) and is returned; ranks that were interrupted
+// report AbortError, which Run folds into the primary error.
+func (w *World) Run(fn func(c *Comm) error) error {
+	errs := make([]error, w.size)
+	var wg sync.WaitGroup
+	for r := 0; r < w.size; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					if ae, ok := p.(*AbortError); ok {
+						errs[rank] = ae
+						return
+					}
+					errs[rank] = fmt.Errorf("mpi: rank %d panicked: %v", rank, p)
+					w.abort()
+				}
+			}()
+			errs[rank] = fn(&Comm{world: w, rank: rank})
+			if errs[rank] != nil {
+				w.abort()
+			}
+		}(r)
+	}
+	wg.Wait()
+	// Prefer a root-cause error over secondary AbortErrors.
+	var abortErr error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if _, isAbort := err.(*AbortError); isAbort {
+			abortErr = err
+			continue
+		}
+		return err
+	}
+	return abortErr
+}
+
+func (w *World) abort() {
+	w.abortOnce.Do(func() {
+		w.aborted.Store(true)
+		for _, b := range w.boxes {
+			b.kill()
+		}
+	})
+}
+
+// Stats snapshots the accumulated communication counters.
+func (w *World) Stats() Stats {
+	return Stats{
+		P2PMessages:   w.stats.p2pMessages.Load(),
+		P2PBytes:      w.stats.p2pBytes.Load(),
+		Barriers:      w.stats.barriers.Load(),
+		Bcasts:        w.stats.bcasts.Load(),
+		Reduces:       w.stats.reduces.Load(),
+		Allreduces:    w.stats.allreduces.Load(),
+		Gathers:       w.stats.gathers.Load(),
+		Allgathers:    w.stats.allgathers.Load(),
+		Alltoalls:     w.stats.alltoalls.Load(),
+		AlltoallBytes: w.stats.alltoallBytes.Load(),
+		Sendrecvs:     w.stats.sendrecvs.Load(),
+	}
+}
+
+// sizeOf estimates the wire size of a payload in bytes.
+func sizeOf(data any) int64 {
+	switch v := data.(type) {
+	case []complex128:
+		return int64(len(v)) * 16
+	case []float64:
+		return int64(len(v)) * 8
+	case []int:
+		return int64(len(v)) * 8
+	case []byte:
+		return int64(len(v))
+	case complex128:
+		return 16
+	case float64, int, int64:
+		return 8
+	case nil:
+		return 0
+	default:
+		return 8 // conservative placeholder for small control values
+	}
+}
+
+// copyPayload deep-copies slice payloads so senders can reuse buffers
+// immediately (MPI buffered-send semantics).
+func copyPayload(data any) any {
+	switch v := data.(type) {
+	case []complex128:
+		return append([]complex128(nil), v...)
+	case []float64:
+		return append([]float64(nil), v...)
+	case []int:
+		return append([]int(nil), v...)
+	case []byte:
+		return append([]byte(nil), v...)
+	default:
+		return data
+	}
+}

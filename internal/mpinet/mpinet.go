@@ -1,0 +1,363 @@
+// Package mpinet is a TCP transport for the distributed SOI driver: the
+// same core.Comm surface as the in-process runtime, but between real
+// processes over real sockets (stdlib net only). Ranks form a full mesh —
+// rank r dials every lower rank and accepts from every higher one — and
+// exchange length-prefixed frames of complex128 data.
+//
+// It exists to show the algorithm end-to-end outside a single address
+// space (cmd/soinode runs one rank per OS process); the in-process
+// runtime remains the tool for experiments because it can count traffic
+// and simulate fabrics.
+package mpinet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"sync"
+	"time"
+)
+
+// Node is a rank that has opened its listener but not yet met its peers.
+type Node struct {
+	rank, size int
+	ln         net.Listener
+}
+
+// NewNode starts rank's listener on listenAddr (use "127.0.0.1:0" to let
+// the OS choose a port; Addr reports the result).
+func NewNode(rank, size int, listenAddr string) (*Node, error) {
+	if size <= 0 || rank < 0 || rank >= size {
+		return nil, fmt.Errorf("mpinet: rank %d out of range for size %d", rank, size)
+	}
+	ln, err := net.Listen("tcp", listenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("mpinet: listen: %w", err)
+	}
+	return &Node{rank: rank, size: size, ln: ln}, nil
+}
+
+// Addr returns the listener's address for sharing with peers.
+func (n *Node) Addr() string { return n.ln.Addr().String() }
+
+// Connect completes the mesh: addrs[r] must hold every rank's listen
+// address (addrs[n.rank] is ignored). Blocks until all size-1 links are
+// up, then returns the ready communicator.
+func (n *Node) Connect(addrs []string) (*Proc, error) {
+	if len(addrs) != n.size {
+		return nil, fmt.Errorf("mpinet: need %d addresses, got %d", n.size, len(addrs))
+	}
+	p := &Proc{rank: n.rank, size: n.size, peers: make([]*peer, n.size)}
+
+	// Dial lower ranks, identifying ourselves with an 8-byte hello.
+	// Peers may not have opened their listeners yet (processes start in
+	// arbitrary order), so retry with backoff for up to ~15 seconds.
+	for r := 0; r < n.rank; r++ {
+		conn, err := dialRetry(addrs[r])
+		if err != nil {
+			return nil, fmt.Errorf("mpinet: rank %d dialing rank %d at %s: %w", n.rank, r, addrs[r], err)
+		}
+		var hello [8]byte
+		binary.LittleEndian.PutUint64(hello[:], uint64(n.rank))
+		if _, err := conn.Write(hello[:]); err != nil {
+			return nil, fmt.Errorf("mpinet: hello to rank %d: %w", r, err)
+		}
+		p.peers[r] = newPeer(conn)
+	}
+	// Accept higher ranks.
+	for got := n.rank + 1; got < n.size; got++ {
+		conn, err := n.ln.Accept()
+		if err != nil {
+			return nil, fmt.Errorf("mpinet: rank %d accept: %w", n.rank, err)
+		}
+		var hello [8]byte
+		if _, err := io.ReadFull(conn, hello[:]); err != nil {
+			return nil, fmt.Errorf("mpinet: reading hello: %w", err)
+		}
+		r := int(binary.LittleEndian.Uint64(hello[:]))
+		if r <= n.rank || r >= n.size || p.peers[r] != nil {
+			return nil, fmt.Errorf("mpinet: unexpected hello from rank %d", r)
+		}
+		p.peers[r] = newPeer(conn)
+	}
+	_ = n.ln.Close()
+	for r, pe := range p.peers {
+		if pe != nil {
+			go pe.readLoop()
+			go pe.writeLoop()
+			_ = r
+		}
+	}
+	return p, nil
+}
+
+// dialRetry dials with linear backoff while peers are still launching.
+func dialRetry(addr string) (net.Conn, error) {
+	var lastErr error
+	for attempt := 0; attempt < 100; attempt++ {
+		conn, err := net.DialTimeout("tcp", addr, 2*time.Second)
+		if err == nil {
+			return conn, nil
+		}
+		lastErr = err
+		time.Sleep(150 * time.Millisecond)
+	}
+	return nil, lastErr
+}
+
+// Proc is a connected rank; it satisfies core.Comm.
+type Proc struct {
+	rank, size int
+	peers      []*peer
+}
+
+// Rank returns this process's rank.
+func (p *Proc) Rank() int { return p.rank }
+
+// Size returns the world size.
+func (p *Proc) Size() int { return p.size }
+
+// Close tears down all links.
+func (p *Proc) Close() {
+	for _, pe := range p.peers {
+		if pe != nil {
+			pe.close()
+		}
+	}
+}
+
+// Send transmits a []complex128 payload (the only type the SOI driver
+// moves) to rank `to`. Asynchronous: the frame is queued for the writer.
+func (p *Proc) Send(to, tag int, data any) {
+	buf, ok := data.([]complex128)
+	if !ok {
+		panic(fmt.Sprintf("mpinet: unsupported payload type %T", data))
+	}
+	if to < 0 || to >= p.size || to == p.rank {
+		panic(fmt.Sprintf("mpinet: send to invalid rank %d", to))
+	}
+	p.peers[to].send(encodeFrame(tag, buf))
+}
+
+// RecvC blocks for the next frame from rank `from` and checks its tag.
+func (p *Proc) RecvC(from, tag int) []complex128 {
+	if from < 0 || from >= p.size || from == p.rank {
+		panic(fmt.Sprintf("mpinet: recv from invalid rank %d", from))
+	}
+	pkt, ok := p.peers[from].box.get()
+	if !ok {
+		panic(fmt.Sprintf("mpinet: rank %d: connection to %d closed", p.rank, from))
+	}
+	if pkt.tag != tag {
+		panic(fmt.Sprintf("mpinet: tag mismatch from rank %d: want %d got %d", from, tag, pkt.tag))
+	}
+	return pkt.data
+}
+
+// Alltoall is the equal-counts personalized exchange (see mpi.Alltoall).
+func (p *Proc) Alltoall(send []complex128, chunk int) []complex128 {
+	counts := make([]int, p.size)
+	for i := range counts {
+		counts[i] = chunk
+	}
+	return p.PairwiseAlltoallv(send, counts, counts)
+}
+
+// PairwiseAlltoallv exchanges variable-size chunks in rank order.
+func (p *Proc) PairwiseAlltoallv(send []complex128, sendCounts, recvCounts []int) []complex128 {
+	offs := prefix(sendCounts)
+	roffs := prefix(recvCounts)
+	if len(send) != offs[p.size] {
+		panic(fmt.Sprintf("mpinet: alltoallv send length %d, counts sum %d", len(send), offs[p.size]))
+	}
+	const tag = -6
+	for r := 0; r < p.size; r++ {
+		if r == p.rank {
+			continue
+		}
+		p.Send(r, tag, send[offs[r]:offs[r+1]])
+	}
+	out := make([]complex128, roffs[p.size])
+	copy(out[roffs[p.rank]:roffs[p.rank+1]], send[offs[p.rank]:offs[p.rank+1]])
+	for r := 0; r < p.size; r++ {
+		if r == p.rank {
+			continue
+		}
+		data := p.RecvC(r, tag)
+		if len(data) != recvCounts[r] {
+			panic(fmt.Sprintf("mpinet: expected %d from rank %d, got %d", recvCounts[r], r, len(data)))
+		}
+		copy(out[roffs[r]:roffs[r+1]], data)
+	}
+	return out
+}
+
+// Gather concatenates equal-length chunks at root (nil elsewhere).
+func (p *Proc) Gather(root int, chunk []complex128) []complex128 {
+	const tag = -4
+	if p.rank != root {
+		p.Send(root, tag, chunk)
+		return nil
+	}
+	out := make([]complex128, len(chunk)*p.size)
+	copy(out[p.rank*len(chunk):], chunk)
+	for r := 0; r < p.size; r++ {
+		if r == root {
+			continue
+		}
+		data := p.RecvC(r, tag)
+		copy(out[r*len(chunk):], data)
+	}
+	return out
+}
+
+// Barrier blocks until every rank has entered (gather at 0, then notify).
+func (p *Proc) Barrier() {
+	const tag = -5
+	if p.rank == 0 {
+		for r := 1; r < p.size; r++ {
+			p.RecvC(r, tag)
+		}
+		for r := 1; r < p.size; r++ {
+			p.Send(r, tag, []complex128{})
+		}
+		return
+	}
+	p.Send(0, tag, []complex128{})
+	p.RecvC(0, tag)
+}
+
+func prefix(counts []int) []int {
+	offs := make([]int, len(counts)+1)
+	for i, n := range counts {
+		offs[i+1] = offs[i] + n
+	}
+	return offs
+}
+
+// --- wire details ---
+
+type packet struct {
+	tag  int
+	data []complex128
+}
+
+type peer struct {
+	conn    net.Conn
+	out     chan []byte
+	box     *netMailbox
+	once    sync.Once
+	drained chan struct{} // closed when writeLoop has flushed everything
+}
+
+func newPeer(conn net.Conn) *peer {
+	return &peer{
+		conn:    conn,
+		out:     make(chan []byte, 4096),
+		box:     newNetMailbox(),
+		drained: make(chan struct{}),
+	}
+}
+
+func (pe *peer) send(frame []byte) { pe.out <- frame }
+
+func (pe *peer) writeLoop() {
+	defer close(pe.drained)
+	for frame := range pe.out {
+		if _, err := pe.conn.Write(frame); err != nil {
+			pe.box.kill()
+			return
+		}
+	}
+}
+
+func (pe *peer) readLoop() {
+	var hdr [16]byte
+	for {
+		if _, err := io.ReadFull(pe.conn, hdr[:]); err != nil {
+			pe.box.kill()
+			return
+		}
+		tag := int(int64(binary.LittleEndian.Uint64(hdr[:8])))
+		count := int(binary.LittleEndian.Uint64(hdr[8:]))
+		raw := make([]byte, count*16)
+		if _, err := io.ReadFull(pe.conn, raw); err != nil {
+			pe.box.kill()
+			return
+		}
+		data := make([]complex128, count)
+		for i := range data {
+			re := math.Float64frombits(binary.LittleEndian.Uint64(raw[i*16:]))
+			im := math.Float64frombits(binary.LittleEndian.Uint64(raw[i*16+8:]))
+			data[i] = complex(re, im)
+		}
+		pe.box.put(packet{tag: tag, data: data})
+	}
+}
+
+func (pe *peer) close() {
+	pe.once.Do(func() {
+		// Stop accepting frames, let the writer flush what is queued,
+		// then close the socket.
+		close(pe.out)
+		<-pe.drained
+		_ = pe.conn.Close()
+	})
+}
+
+// encodeFrame lays out [tag int64][count int64][count × complex128].
+func encodeFrame(tag int, data []complex128) []byte {
+	buf := make([]byte, 16+16*len(data))
+	binary.LittleEndian.PutUint64(buf[:8], uint64(int64(tag)))
+	binary.LittleEndian.PutUint64(buf[8:16], uint64(len(data)))
+	for i, v := range data {
+		binary.LittleEndian.PutUint64(buf[16+i*16:], math.Float64bits(real(v)))
+		binary.LittleEndian.PutUint64(buf[16+i*16+8:], math.Float64bits(imag(v)))
+	}
+	return buf
+}
+
+// netMailbox is an unbounded FIFO of received packets.
+type netMailbox struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	queue []packet
+	dead  bool
+}
+
+func newNetMailbox() *netMailbox {
+	m := &netMailbox{}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+func (m *netMailbox) put(p packet) {
+	m.mu.Lock()
+	m.queue = append(m.queue, p)
+	m.mu.Unlock()
+	m.cond.Signal()
+}
+
+func (m *netMailbox) get() (packet, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for len(m.queue) == 0 && !m.dead {
+		m.cond.Wait()
+	}
+	if len(m.queue) == 0 {
+		return packet{}, false
+	}
+	p := m.queue[0]
+	m.queue[0] = packet{}
+	m.queue = m.queue[1:]
+	return p, true
+}
+
+func (m *netMailbox) kill() {
+	m.mu.Lock()
+	m.dead = true
+	m.mu.Unlock()
+	m.cond.Broadcast()
+}

@@ -1,0 +1,204 @@
+package mpinet
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"soifft/internal/core"
+	"soifft/internal/fft"
+	"soifft/internal/signal"
+)
+
+// mesh builds a fully connected localhost world of the given size, one
+// goroutine per rank (the wire is still real TCP).
+func mesh(t *testing.T, size int) []*Proc {
+	t.Helper()
+	nodes := make([]*Node, size)
+	addrs := make([]string, size)
+	for r := 0; r < size; r++ {
+		n, err := NewNode(r, size, "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[r] = n
+		addrs[r] = n.Addr()
+	}
+	procs := make([]*Proc, size)
+	var wg sync.WaitGroup
+	errs := make([]error, size)
+	for r := 0; r < size; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			procs[r], errs[r] = nodes[r].Connect(addrs)
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d connect: %v", r, err)
+		}
+	}
+	t.Cleanup(func() {
+		for _, p := range procs {
+			p.Close()
+		}
+	})
+	return procs
+}
+
+// spmd runs fn on every proc concurrently and reports the first error.
+func spmd(t *testing.T, procs []*Proc, fn func(p *Proc) error) {
+	t.Helper()
+	var wg sync.WaitGroup
+	errs := make([]error, len(procs))
+	for i, p := range procs {
+		wg.Add(1)
+		go func(i int, p *Proc) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					errs[i] = fmt.Errorf("rank %d panicked: %v", i, r)
+				}
+			}()
+			errs[i] = fn(p)
+		}(i, p)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestTCPSendRecv(t *testing.T) {
+	procs := mesh(t, 3)
+	spmd(t, procs, func(p *Proc) error {
+		next := (p.Rank() + 1) % p.Size()
+		prev := (p.Rank() - 1 + p.Size()) % p.Size()
+		p.Send(next, 7, []complex128{complex(float64(p.Rank()), -1)})
+		got := p.RecvC(prev, 7)
+		if len(got) != 1 || got[0] != complex(float64(prev), -1) {
+			return fmt.Errorf("rank %d got %v", p.Rank(), got)
+		}
+		return nil
+	})
+}
+
+func TestTCPAlltoall(t *testing.T) {
+	const size, chunk = 4, 3
+	procs := mesh(t, size)
+	spmd(t, procs, func(p *Proc) error {
+		send := make([]complex128, size*chunk)
+		for r := 0; r < size; r++ {
+			for k := 0; k < chunk; k++ {
+				send[r*chunk+k] = complex(float64(p.Rank()), float64(r*chunk+k))
+			}
+		}
+		got := p.Alltoall(send, chunk)
+		for r := 0; r < size; r++ {
+			for k := 0; k < chunk; k++ {
+				want := complex(float64(r), float64(p.Rank()*chunk+k))
+				if got[r*chunk+k] != want {
+					return fmt.Errorf("rank %d slot (%d,%d): %v want %v", p.Rank(), r, k, got[r*chunk+k], want)
+				}
+			}
+		}
+		return nil
+	})
+}
+
+func TestTCPGatherBarrier(t *testing.T) {
+	procs := mesh(t, 4)
+	spmd(t, procs, func(p *Proc) error {
+		p.Barrier()
+		g := p.Gather(2, []complex128{complex(float64(p.Rank()), 0)})
+		if p.Rank() == 2 {
+			for r := 0; r < 4; r++ {
+				if g[r] != complex(float64(r), 0) {
+					return fmt.Errorf("gather[%d] = %v", r, g[r])
+				}
+			}
+		} else if g != nil {
+			return fmt.Errorf("non-root got data")
+		}
+		p.Barrier()
+		return nil
+	})
+}
+
+// TestTCPDistributedSOI is the point of the package: the full SOI
+// algorithm over real sockets, checked against the direct DFT.
+func TestTCPDistributedSOI(t *testing.T) {
+	const n, ranks = 2048, 4
+	pl, err := core.NewPlan(core.Params{N: n, P: 8, Mu: 5, Nu: 4, B: 48})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := signal.Random(n, 13)
+	want := make([]complex128, n)
+	fft.Direct(want, src)
+	got := make([]complex128, n)
+	procs := mesh(t, ranks)
+	nLocal := n / ranks
+	spmd(t, procs, func(p *Proc) error {
+		out := got[p.Rank()*nLocal : (p.Rank()+1)*nLocal]
+		_, err := pl.RunDistributed(p, out, src[p.Rank()*nLocal:(p.Rank()+1)*nLocal])
+		return err
+	})
+	if e := signal.RelErrL2(got, want); e > 1e-10 {
+		t.Errorf("TCP distributed SOI rel err %.3e", e)
+	}
+	// And the inverse round trip over the same mesh.
+	back := make([]complex128, n)
+	spmd(t, procs, func(p *Proc) error {
+		out := back[p.Rank()*nLocal : (p.Rank()+1)*nLocal]
+		_, err := pl.RunDistributedInverse(p, out, got[p.Rank()*nLocal:(p.Rank()+1)*nLocal])
+		return err
+	})
+	if e := signal.RelErrL2(back, src); e > 1e-10 {
+		t.Errorf("TCP round trip rel err %.3e", e)
+	}
+}
+
+func TestTCPDistributedSegment(t *testing.T) {
+	const n, ranks = 1024, 4
+	pl, err := core.NewPlan(core.Params{N: n, P: 8, Mu: 5, Nu: 4, B: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := signal.Random(n, 14)
+	full := make([]complex128, n)
+	if err := pl.Transform(full, src); err != nil {
+		t.Fatal(err)
+	}
+	procs := mesh(t, ranks)
+	nLocal := n / ranks
+	var seg []complex128
+	spmd(t, procs, func(p *Proc) error {
+		out, err := pl.RunDistributedSegment(p, src[p.Rank()*nLocal:(p.Rank()+1)*nLocal], 3, 1)
+		if p.Rank() == 1 {
+			seg = out
+		}
+		return err
+	})
+	m := pl.M()
+	if e := signal.MaxAbsErr(seg, full[3*m:4*m]); e > 1e-10 {
+		t.Errorf("TCP segment differs by %.3e", e)
+	}
+}
+
+func TestNodeValidation(t *testing.T) {
+	if _, err := NewNode(3, 2, "127.0.0.1:0"); err == nil {
+		t.Error("expected rank range error")
+	}
+	n, err := NewNode(0, 2, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Connect([]string{"only-one"}); err == nil {
+		t.Error("expected address count error")
+	}
+}

@@ -1,0 +1,66 @@
+package netsim
+
+import (
+	"math"
+	"time"
+)
+
+// Dragonfly models a modern two-tier direct network (the topology of
+// Cray Slingshot / Aries-class systems): groups of routers with
+// all-to-all local links and all-to-all global links between groups.
+// It post-dates the paper — included to ask the paper's question on
+// today's fabrics: adaptive routing keeps bandwidth high until the
+// global (inter-group) links saturate, after which per-node all-to-all
+// bandwidth declines roughly with the fraction of traffic forced across
+// groups.
+type Dragonfly struct {
+	LinkGbit    float64 // node injection link
+	GlobalGbit  float64 // per-router global link
+	Efficiency  float64
+	LatencyUS   float64
+	GroupSize   int // nodes per group
+	GlobalLinks int // global links per group
+}
+
+// Slingshot returns a contemporary dragonfly configuration (200 Gbit
+// links, 16-node groups, calibrated all-to-all efficiency like the
+// paper-era fabrics).
+func Slingshot() Dragonfly {
+	return Dragonfly{
+		LinkGbit:    200,
+		GlobalGbit:  200,
+		Efficiency:  0.3,
+		LatencyUS:   1.5,
+		GroupSize:   16,
+		GlobalLinks: 8,
+	}
+}
+
+// Name identifies the fabric.
+func (d Dragonfly) Name() string { return "dragonfly" }
+
+// AlltoallTime is injection-bound for small systems; once traffic is
+// mostly inter-group, the aggregate global-link capacity binds.
+func (d Dragonfly) AlltoallTime(n int, bytesPerNode int64) time.Duration {
+	if n <= 1 || bytesPerNode <= 0 {
+		return 0
+	}
+	inj := float64(bytesPerNode) / (d.LinkGbit * Gbit * d.Efficiency)
+	groups := (n + d.GroupSize - 1) / d.GroupSize
+	t := inj
+	if groups > 1 {
+		// Fraction of each node's traffic that leaves its group.
+		frac := float64(n-d.GroupSize) / float64(n-1)
+		crossBytes := float64(bytesPerNode) * frac * float64(n)
+		capacity := float64(groups*d.GlobalLinks) * d.GlobalGbit * Gbit * d.Efficiency
+		global := crossBytes / capacity
+		t = math.Max(inj, global)
+	}
+	lat := d.LatencyUS * 1e-6 * float64(n-1)
+	return secToDur(t + lat)
+}
+
+// P2PTime prices one message.
+func (d Dragonfly) P2PTime(bytes int64) time.Duration {
+	return secToDur(float64(bytes)/(d.LinkGbit*Gbit*d.Efficiency) + d.LatencyUS*1e-6)
+}

@@ -1,0 +1,143 @@
+package netsim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestFatTreeBasics(t *testing.T) {
+	f := Endeavor()
+	if f.AlltoallTime(1, 1<<20) != 0 {
+		t.Error("single node all-to-all must be free")
+	}
+	if f.AlltoallTime(8, 0) != 0 {
+		t.Error("zero bytes must be free")
+	}
+	// Within the linear region, per-node time grows only mildly (routing
+	// congestion term) for fixed per-node bytes.
+	a := f.AlltoallTime(4, 1<<30)
+	b := f.AlltoallTime(32, 1<<30)
+	if ratio := float64(b) / float64(a); ratio > 1.35 {
+		t.Errorf("fat tree should scale near-linearly to 32 nodes, 32/4 ratio %.3f", ratio)
+	}
+	// Beyond the linear region, the upper-tier penalty kicks in: the jump
+	// from 32 to 128 nodes must exceed the in-region drift from 4 to 32.
+	c := f.AlltoallTime(128, 1<<30)
+	if float64(c)/float64(b) <= float64(b)/float64(a) {
+		t.Error("fat tree beyond 32 nodes should degrade faster than within the linear region")
+	}
+}
+
+func TestTorusBisectionRegime(t *testing.T) {
+	g := Gordon()
+	// Small systems: local channel binds; time drifts up only through the
+	// contention term.
+	a := g.AlltoallTime(16, 1<<30)
+	b := g.AlltoallTime(64, 1<<30)
+	if float64(b)/float64(a) > 1.4 {
+		t.Errorf("torus below 128 nodes should be near local-bound, ratio %.3f", float64(b)/float64(a))
+	}
+	// Large systems: bisection binds and per-node time grows like k²/…
+	big := g.AlltoallTime(16*8*8*8, 1<<30) // k=8, 8192 nodes
+	if big <= b {
+		t.Error("torus at 8K nodes must be slower than at 64")
+	}
+	// Monotone in n for fixed payload.
+	prev := time.Duration(0)
+	for _, n := range []int{2, 16, 128, 1024, 4096, 16000} {
+		cur := g.AlltoallTime(n, 1<<28)
+		if cur < prev {
+			t.Errorf("torus time not monotone at n=%d: %v < %v", n, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestTorusRadix(t *testing.T) {
+	g := Gordon()
+	cases := map[int]int{1: 1, 16: 1, 17: 2, 128: 2, 129: 3, 1024: 4, 16000: 10}
+	for n, k := range cases {
+		if got := g.Radix(n); got != k {
+			t.Errorf("Radix(%d) = %d, want %d", n, got, k)
+		}
+	}
+}
+
+func TestEthernetSlowestFabric(t *testing.T) {
+	const n, bytes = 16, int64(1 << 30)
+	e := TenGigE().AlltoallTime(n, bytes)
+	f := Endeavor().AlltoallTime(n, bytes)
+	g := Gordon().AlltoallTime(n, bytes)
+	if e <= f || e <= g {
+		t.Errorf("10GbE (%v) must be slower than IB fabrics (%v, %v)", e, f, g)
+	}
+}
+
+func TestP2PTimes(t *testing.T) {
+	for _, f := range []Fabric{Endeavor(), Gordon(), TenGigE()} {
+		small := f.P2PTime(1024)
+		large := f.P2PTime(1 << 30)
+		if small <= 0 || large <= small {
+			t.Errorf("%s: p2p times small=%v large=%v", f.Name(), small, large)
+		}
+	}
+}
+
+func TestSystemsTable(t *testing.T) {
+	sys := Systems()
+	if len(sys) != 3 {
+		t.Fatalf("expected 3 systems, got %d", len(sys))
+	}
+	for _, s := range sys {
+		if s.NodeGFLOPS != 330 {
+			t.Errorf("%s: NodeGFLOPS %.0f, Table 1 says 330", s.Name, s.NodeGFLOPS)
+		}
+		if s.String() == "" || s.Fabric == nil {
+			t.Errorf("%s: incomplete row", s.Name)
+		}
+	}
+}
+
+// TestPropMoreBytesMoreTime: every fabric must be monotone in payload.
+func TestPropMoreBytesMoreTime(t *testing.T) {
+	fabrics := []Fabric{Endeavor(), Gordon(), TenGigE()}
+	f := func(n16 uint8, kb uint16) bool {
+		n := 2 + int(n16)%512
+		b := int64(kb)*1024 + 1024
+		for _, fab := range fabrics {
+			if fab.AlltoallTime(n, 2*b) < fab.AlltoallTime(n, b) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDragonflyRegimes(t *testing.T) {
+	d := Slingshot()
+	if d.AlltoallTime(1, 1<<30) != 0 {
+		t.Error("single node must be free")
+	}
+	// Within one group: injection bound, flat in n.
+	a := d.AlltoallTime(8, 1<<30)
+	b := d.AlltoallTime(16, 1<<30)
+	if float64(b)/float64(a) > 1.05 {
+		t.Errorf("in-group scaling should be flat, ratio %.3f", float64(b)/float64(a))
+	}
+	// Far beyond one group: the global links bind and per-node time grows.
+	big := d.AlltoallTime(4096, 1<<30)
+	if big <= b {
+		t.Error("global-link saturation should slow large systems")
+	}
+	// Faster links than the paper-era fabrics at equal payload and scale.
+	if d.AlltoallTime(64, 1<<30) >= Gordon().AlltoallTime(64, 1<<30) {
+		t.Error("slingshot-class fabric should beat QDR-era torus")
+	}
+	if d.P2PTime(1<<20) <= 0 {
+		t.Error("p2p must be positive")
+	}
+}

@@ -1,0 +1,51 @@
+package perfmodel
+
+import (
+	"math"
+	"time"
+)
+
+// Strong-scaling variant of the Section 7.4 model: the total problem
+// size is fixed at TotalPoints while the node count grows, so per-node
+// compute and exchange volume both shrink like 1/n. The paper evaluates
+// weak scaling only; this extension asks where SOI's advantage goes when
+// the per-node payload gets small (answer: latency terms erode it).
+
+// StrongModel prices a fixed-size problem across node counts.
+type StrongModel struct {
+	Model
+	TotalPoints int64
+}
+
+// TfftStrong models the per-node FFT time at n nodes.
+func (m StrongModel) TfftStrong(n int) time.Duration {
+	perNode := float64(m.TotalPoints) / float64(n)
+	lg := math.Log2(float64(m.TotalPoints))
+	// Rate calibrated from Alpha: Alpha·log2(ppn) was the single-node
+	// time for PointsPerNode, i.e. rate = PointsPerNode/Alpha per log.
+	scale := perNode / float64(m.PointsPerNode)
+	return time.Duration(float64(m.Alpha) * lg * scale)
+}
+
+// TconvStrong shrinks the convolution with the per-node share.
+func (m StrongModel) TconvStrong(n int) time.Duration {
+	return time.Duration(float64(m.Tconv) * m.C / float64(n) *
+		float64(m.TotalPoints) / float64(m.PointsPerNode))
+}
+
+// TmpiStrong prices one all-to-all of the per-node share.
+func (m StrongModel) TmpiStrong(n int) time.Duration {
+	perNodeBytes := m.TotalPoints * 16 / int64(n)
+	return m.Fabric.AlltoallTime(n, perNodeBytes)
+}
+
+// SpeedupStrong is the SOI speedup at n nodes under strong scaling. The
+// oversampled exchange carries (1+β)× the bytes but pays latency once.
+func (m StrongModel) SpeedupStrong(n int) float64 {
+	tstd := m.TfftStrong(n) + 3*m.TmpiStrong(n)
+	perNodeBytes := int64(float64(m.TotalPoints*16) / float64(n) * (1 + m.Beta))
+	comm := m.Fabric.AlltoallTime(n, perNodeBytes)
+	tfftOv := time.Duration(float64(m.TfftStrong(n)) * (1 + m.Beta))
+	tsoi := tfftOv + m.TconvStrong(n) + comm
+	return float64(tstd) / float64(tsoi)
+}

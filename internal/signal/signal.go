@@ -1,0 +1,115 @@
+// Package signal provides test-signal generators and accuracy metrics
+// used throughout the evaluation (paper Section 7 reports accuracy as
+// signal-to-noise ratio in dB).
+package signal
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+)
+
+// Random returns n complex points with independent real and imaginary
+// parts uniform on [-1, 1), from a deterministic seed.
+func Random(n int, seed int64) []complex128 {
+	rng := rand.New(rand.NewSource(seed))
+	v := make([]complex128, n)
+	for i := range v {
+		v[i] = complex(rng.Float64()*2-1, rng.Float64()*2-1)
+	}
+	return v
+}
+
+// Tones synthesizes a sum of complex exponentials: amplitude amps[i] at
+// integer frequency bins freqs[i] of an n-point grid.
+func Tones(n int, freqs []int, amps []complex128) []complex128 {
+	v := make([]complex128, n)
+	for j := 0; j < n; j++ {
+		for t, f := range freqs {
+			ang := 2 * math.Pi * float64((f%n)*j%n) / float64(n)
+			v[j] += amps[t] * cmplx.Exp(complex(0, ang))
+		}
+	}
+	return v
+}
+
+// NoisyTones is Tones plus additive complex Gaussian noise of the given
+// standard deviation per component.
+func NoisyTones(n int, freqs []int, amps []complex128, sigma float64, seed int64) []complex128 {
+	v := Tones(n, freqs, amps)
+	rng := rand.New(rand.NewSource(seed))
+	for i := range v {
+		v[i] += complex(rng.NormFloat64()*sigma, rng.NormFloat64()*sigma)
+	}
+	return v
+}
+
+// Chirp returns a linear-frequency chirp sweeping f0..f1 bins across n
+// samples — a broadband signal with energy in every segment.
+func Chirp(n int, f0, f1 float64) []complex128 {
+	v := make([]complex128, n)
+	for j := 0; j < n; j++ {
+		ph := 2 * math.Pi * (f0*float64(j) + 0.5*(f1-f0)*float64(j)*float64(j)/float64(n))
+		v[j] = cmplx.Exp(complex(0, ph))
+	}
+	return v
+}
+
+// Impulse returns a unit impulse at position k.
+func Impulse(n, k int) []complex128 {
+	v := make([]complex128, n)
+	v[k%n] = 1
+	return v
+}
+
+// SNRdB returns the signal-to-noise ratio of got against the reference,
+// 10·log10(Σ|ref|² / Σ|got−ref|²), in decibels. A perfect match returns
+// +Inf.
+func SNRdB(got, ref []complex128) float64 {
+	var sig, noise float64
+	for i := range ref {
+		sig += re2(ref[i])
+		noise += re2(got[i] - ref[i])
+	}
+	if noise == 0 {
+		return math.Inf(1)
+	}
+	return 10 * math.Log10(sig/noise)
+}
+
+// RelErrL2 returns ‖got−ref‖₂ / ‖ref‖₂.
+func RelErrL2(got, ref []complex128) float64 {
+	var num, den float64
+	for i := range ref {
+		num += re2(got[i] - ref[i])
+		den += re2(ref[i])
+	}
+	if den == 0 {
+		return math.Sqrt(num)
+	}
+	return math.Sqrt(num / den)
+}
+
+// MaxAbsErr returns max_i |got[i] − ref[i]|.
+func MaxAbsErr(got, ref []complex128) float64 {
+	var m float64
+	for i := range ref {
+		if d := cmplx.Abs(got[i] - ref[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// Digits converts a relative error to decimal digits of accuracy.
+func Digits(relErr float64) float64 {
+	if relErr <= 0 {
+		return math.Inf(1)
+	}
+	return -math.Log10(relErr)
+}
+
+// DBToDigits converts an SNR in dB to decimal digits (20 dB per digit).
+func DBToDigits(db float64) float64 { return db / 20 }
+
+func re2(z complex128) float64 { return real(z)*real(z) + imag(z)*imag(z) }

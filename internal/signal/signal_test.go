@@ -1,0 +1,158 @@
+package signal
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+	"testing/quick"
+
+	"soifft/internal/fft"
+)
+
+func TestRandomDeterministic(t *testing.T) {
+	a := Random(100, 7)
+	b := Random(100, 7)
+	c := Random(100, 8)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed must reproduce")
+		}
+	}
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds should differ")
+	}
+	for _, v := range a {
+		if real(v) < -1 || real(v) >= 1 || imag(v) < -1 || imag(v) >= 1 {
+			t.Fatalf("value %v outside [-1,1)", v)
+		}
+	}
+}
+
+func TestTonesSpectrum(t *testing.T) {
+	const n = 64
+	x := Tones(n, []int{5, 20}, []complex128{2, 1i})
+	y := make([]complex128, n)
+	fft.Direct(y, x)
+	for k := 0; k < n; k++ {
+		want := complex128(0)
+		switch k {
+		case 5:
+			want = complex(2*float64(n), 0)
+		case 20:
+			want = complex(0, float64(n))
+		}
+		if cmplx.Abs(y[k]-want) > 1e-9 {
+			t.Errorf("bin %d = %v, want %v", k, y[k], want)
+		}
+	}
+}
+
+func TestImpulse(t *testing.T) {
+	x := Impulse(8, 3)
+	for i, v := range x {
+		want := complex128(0)
+		if i == 3 {
+			want = 1
+		}
+		if v != want {
+			t.Fatalf("impulse[%d] = %v", i, v)
+		}
+	}
+	// Index wraps.
+	if Impulse(8, 11)[3] != 1 {
+		t.Error("impulse index should wrap mod n")
+	}
+}
+
+func TestChirpUnitMagnitude(t *testing.T) {
+	x := Chirp(128, 0, 40)
+	for i, v := range x {
+		if math.Abs(cmplx.Abs(v)-1) > 1e-12 {
+			t.Fatalf("chirp[%d] magnitude %f", i, cmplx.Abs(v))
+		}
+	}
+}
+
+func TestNoisyTonesSigmaZero(t *testing.T) {
+	a := Tones(32, []int{3}, []complex128{1})
+	b := NoisyTones(32, []int{3}, []complex128{1}, 0, 1)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("zero-noise NoisyTones must equal Tones")
+		}
+	}
+}
+
+func TestSNRdB(t *testing.T) {
+	ref := []complex128{1, 1, 1, 1}
+	if !math.IsInf(SNRdB(ref, ref), 1) {
+		t.Error("identical signals: SNR must be +Inf")
+	}
+	// Noise at 1e-3 of signal: SNR = 60 dB.
+	got := []complex128{1 + 1e-3, 1, 1, 1 - 1e-3}
+	snr := SNRdB(got, ref)
+	want := 10 * math.Log10(4/(2e-6))
+	if math.Abs(snr-want) > 1e-9 {
+		t.Errorf("SNR %.3f, want %.3f", snr, want)
+	}
+}
+
+func TestRelErrAndDigits(t *testing.T) {
+	ref := []complex128{3, 4}
+	got := []complex128{3, 4.0000005}
+	e := RelErrL2(got, ref)
+	if e <= 0 || e > 1e-6 {
+		t.Errorf("rel err %.3e", e)
+	}
+	if d := Digits(e); d < 6 || d > 8 {
+		t.Errorf("digits %.1f", d)
+	}
+	if !math.IsInf(Digits(0), 1) {
+		t.Error("Digits(0) must be +Inf")
+	}
+	if RelErrL2(got, []complex128{0, 0}) == 0 {
+		t.Error("zero reference should fall back to absolute norm")
+	}
+}
+
+func TestMaxAbsErr(t *testing.T) {
+	a := []complex128{1, 2, 3}
+	b := []complex128{1, 2 + 2i, 3}
+	if e := MaxAbsErr(a, b); math.Abs(e-2) > 1e-15 {
+		t.Errorf("max abs err %.3f, want 2", e)
+	}
+}
+
+func TestDBToDigits(t *testing.T) {
+	if DBToDigits(290) != 14.5 {
+		t.Errorf("290 dB = %.2f digits, want 14.5", DBToDigits(290))
+	}
+}
+
+// TestPropSNRScaleInvariant: SNR must be invariant to a common scale.
+func TestPropSNRScaleInvariant(t *testing.T) {
+	f := func(seed int64, scale8 uint8) bool {
+		scale := 0.5 + float64(scale8)/32
+		ref := Random(50, seed)
+		got := Random(50, seed+1)
+		a := SNRdB(got, ref)
+		gs := make([]complex128, 50)
+		rs := make([]complex128, 50)
+		for i := range ref {
+			gs[i] = got[i] * complex(scale, 0)
+			rs[i] = ref[i] * complex(scale, 0)
+		}
+		b := SNRdB(gs, rs)
+		return math.Abs(a-b) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

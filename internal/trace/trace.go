@@ -1,0 +1,100 @@
+// Package trace renders labeled time spans as ASCII Gantt charts — a
+// lightweight way to see the execution structure of a distributed
+// transform (which phase dominates, where ranks wait) in a terminal.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// Span is one labeled interval on one lane (rank).
+type Span struct {
+	Lane  int
+	Label string
+	Start time.Duration
+	End   time.Duration
+}
+
+// Timeline collects spans for rendering.
+type Timeline struct {
+	spans []Span
+}
+
+// Add records a span; zero- or negative-length spans are kept (they
+// render as a single cell) so very fast phases remain visible.
+func (t *Timeline) Add(lane int, label string, start, end time.Duration) {
+	t.spans = append(t.spans, Span{Lane: lane, Label: label, Start: start, End: end})
+}
+
+// Render draws one row per lane, width columns wide, with a legend
+// mapping letters to labels and total span durations.
+func (t *Timeline) Render(w io.Writer, width int) {
+	if len(t.spans) == 0 {
+		fmt.Fprintln(w, "(empty timeline)")
+		return
+	}
+	if width < 10 {
+		width = 10
+	}
+	var total time.Duration
+	lanes := map[int]bool{}
+	for _, s := range t.spans {
+		if s.End > total {
+			total = s.End
+		}
+		lanes[s.Lane] = true
+	}
+	if total <= 0 {
+		total = 1
+	}
+
+	// Assign letters by first appearance; aggregate durations per label.
+	letters := map[string]byte{}
+	order := []string{}
+	sums := map[string]time.Duration{}
+	for _, s := range t.spans {
+		if _, ok := letters[s.Label]; !ok {
+			letters[s.Label] = byte('A' + len(order))
+			order = append(order, s.Label)
+		}
+		sums[s.Label] += s.End - s.Start
+	}
+
+	laneIDs := make([]int, 0, len(lanes))
+	for l := range lanes {
+		laneIDs = append(laneIDs, l)
+	}
+	sort.Ints(laneIDs)
+	scale := float64(width) / float64(total)
+	for _, lane := range laneIDs {
+		row := make([]byte, width)
+		for i := range row {
+			row[i] = '.'
+		}
+		for _, s := range t.spans {
+			if s.Lane != lane {
+				continue
+			}
+			a := int(float64(s.Start) * scale)
+			b := int(float64(s.End) * scale)
+			if b <= a {
+				b = a + 1
+			}
+			if b > width {
+				b = width
+			}
+			for i := a; i < b && i < width; i++ {
+				row[i] = letters[s.Label]
+			}
+		}
+		fmt.Fprintf(w, "  rank %-3d |%s|\n", lane, string(row))
+	}
+	fmt.Fprintf(w, "  total %v (legend durations are summed over the %d displayed lanes)\n",
+		total.Round(time.Millisecond), len(laneIDs))
+	for _, label := range order {
+		fmt.Fprintf(w, "  %c = %-22s %v\n", letters[label], label, sums[label].Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,62 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRenderBasics(t *testing.T) {
+	var tl Timeline
+	tl.Add(0, "compute", 0, 100*time.Millisecond)
+	tl.Add(0, "comm", 100*time.Millisecond, 300*time.Millisecond)
+	tl.Add(1, "compute", 0, 150*time.Millisecond)
+	tl.Add(1, "comm", 150*time.Millisecond, 300*time.Millisecond)
+	var sb strings.Builder
+	tl.Render(&sb, 60)
+	out := sb.String()
+	for _, want := range []string{"rank 0", "rank 1", "A = compute", "B = comm", "total 300ms"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// The comm phase is 2/3 of rank 0's bar: expect roughly twice as many
+	// B cells as A cells in row 0.
+	row := strings.SplitN(out, "\n", 2)[0]
+	a := strings.Count(row, "A")
+	b := strings.Count(row, "B")
+	if b < a {
+		t.Errorf("expected comm to dominate rank 0's row: A=%d B=%d", a, b)
+	}
+}
+
+func TestRenderEmptyAndTiny(t *testing.T) {
+	var tl Timeline
+	var sb strings.Builder
+	tl.Render(&sb, 40)
+	if !strings.Contains(sb.String(), "empty") {
+		t.Error("empty timeline should say so")
+	}
+	tl.Add(0, "blip", 0, 0) // zero-length span must still render
+	sb.Reset()
+	tl.Render(&sb, 5) // width clamped up
+	if !strings.Contains(sb.String(), "A") {
+		t.Errorf("zero-length span invisible:\n%s", sb.String())
+	}
+}
+
+func TestManyLabels(t *testing.T) {
+	var tl Timeline
+	labels := []string{"one", "two", "three", "four", "five"}
+	for i, l := range labels {
+		tl.Add(0, l, time.Duration(i)*time.Second, time.Duration(i+1)*time.Second)
+	}
+	var sb strings.Builder
+	tl.Render(&sb, 50)
+	out := sb.String()
+	for i := range labels {
+		if !strings.Contains(out, string(byte('A'+i))+" = ") {
+			t.Errorf("legend missing letter %c:\n%s", 'A'+i, out)
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package window
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestDesignResultString(t *testing.T) {
+	d := Design(48, 0.25, 1e3)
+	s := d.String()
+	for _, frag := range []string{"tau-sigma", "B=48", "κ=", "digits"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("DesignResult string missing %q: %s", frag, s)
+		}
+	}
+}
+
+func TestDesignRespectsKappaBound(t *testing.T) {
+	for _, kmax := range []float64{10, 100, 1e3, 1e5} {
+		d := Design(48, 0.25, kmax)
+		// The accurate Analyze κ may exceed the proxy slightly; allow 2x.
+		if d.Metrics.Kappa > kmax*2 {
+			t.Errorf("kmax=%g: designed kappa %.3g way over bound", kmax, d.Metrics.Kappa)
+		}
+	}
+}
+
+func TestDesignDegenerateArgs(t *testing.T) {
+	// B below the floor and nonsensical kappaMax must still return a
+	// usable window rather than panicking.
+	d := Design(1, 0.25, 0.5)
+	if d.Window == nil {
+		t.Fatal("degenerate design returned nil window")
+	}
+	if d.B != 2 {
+		t.Errorf("B clamped to %d, want 2", d.B)
+	}
+}
+
+func TestTighterKappaCostsAccuracy(t *testing.T) {
+	// At fixed B, loosening the kappa bound can only help (or tie) the
+	// achievable error.
+	tight := Design(40, 0.25, 10)
+	loose := Design(40, 0.25, 1e6)
+	if loose.Metrics.TotalError() > tight.Metrics.TotalError()*1.01 {
+		t.Errorf("loose kappa error %.3g worse than tight %.3g",
+			loose.Metrics.TotalError(), tight.Metrics.TotalError())
+	}
+}
+
+func TestLargerBetaNeedsFewerTaps(t *testing.T) {
+	// For a fixed ~12-digit target, the needed B falls as beta rises.
+	taps := func(beta float64) int {
+		for b := 8; b <= 120; b += 4 {
+			if Design(b, beta, 1e3).Metrics.Digits() >= 12 {
+				return b
+			}
+		}
+		return 121
+	}
+	b14, b12 := taps(0.25), taps(1.0)
+	if b12 >= b14 {
+		t.Errorf("beta=1 needs %d taps, beta=1/4 needs %d; expected fewer at larger beta", b12, b14)
+	}
+}
+
+func TestGaussianDesignerSane(t *testing.T) {
+	d := DesignGaussian(48, 0.25)
+	g, ok := d.Window.(Gaussian)
+	if !ok {
+		t.Fatalf("DesignGaussian returned %T", d.Window)
+	}
+	if g.A <= 0 {
+		t.Errorf("gaussian parameter %g", g.A)
+	}
+	if math.IsInf(d.Metrics.TotalError(), 0) || d.Metrics.TotalError() <= 0 {
+		t.Errorf("total error %g", d.Metrics.TotalError())
+	}
+}
+
+func TestAllPresetsProduceValidWindows(t *testing.T) {
+	for _, pr := range Presets {
+		d := ForPreset(pr, 0.25)
+		if d.Window == nil {
+			t.Fatalf("preset %s: nil window", pr.Name)
+		}
+		m := d.Metrics
+		if m.Kappa < 1 || math.IsNaN(m.Kappa) {
+			t.Errorf("preset %s: kappa %g", pr.Name, m.Kappa)
+		}
+		if m.Digits() < 5 {
+			t.Errorf("preset %s: only %.1f digits", pr.Name, m.Digits())
+		}
+	}
+}

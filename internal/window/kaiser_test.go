@@ -1,0 +1,98 @@
+package window
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBesselI0e(t *testing.T) {
+	// Reference values of I0(x) from tables, scaled.
+	cases := map[float64]float64{
+		0:    1,
+		0.5:  1.0634833707413236,
+		1:    1.2660658777520082,
+		2:    2.2795853023360673,
+		3.74: 9.041496849012773,
+		3.76: 9.19709930521449,
+		5:    27.239871823604442,
+		10:   2815.716628466254,
+	}
+	for x, i0 := range cases {
+		want := i0 * math.Exp(-x)
+		got := besselI0e(x)
+		if math.Abs(got-want) > 2e-6*want {
+			t.Errorf("I0e(%g) = %.10g, want %.10g", x, got, want)
+		}
+	}
+	// Large arguments must stay finite and positive.
+	for _, x := range []float64{100, 500, 2000} {
+		if v := besselI0e(x); !(v > 0) || math.IsInf(v, 0) {
+			t.Errorf("I0e(%g) = %g", x, v)
+		}
+	}
+}
+
+// TestKaiserFourierPair checks that HHat really is the Fourier transform
+// of the compactly supported HTime, by direct quadrature.
+func TestKaiserFourierPair(t *testing.T) {
+	w := KaiserBessel{Shape: 30, HalfWidth: 8}
+	for _, u := range []float64{0, 0.05, 0.2, 0.5, 0.9} {
+		// ∫_{-T}^{T} H(t) cos(2πut) dt (imag part vanishes by symmetry).
+		const n = 20000
+		h := 2 * w.HalfWidth / n
+		sum := 0.0
+		for i := 0; i <= n; i++ {
+			tt := -w.HalfWidth + float64(i)*h
+			wgt := 1.0
+			if i == 0 || i == n {
+				wgt = 0.5
+			}
+			sum += wgt * w.HTime(tt) * math.Cos(2*math.Pi*u*tt)
+		}
+		got := sum * h
+		want := w.HHat(u)
+		// Absolute tolerance relative to the peak: deep-tail values sit
+		// at the quadrature's own noise floor.
+		if math.Abs(got-want) > 1e-5*w.HHat(0) {
+			t.Errorf("HHat(%g) = %.10g, quadrature %.10g", u, want, got)
+		}
+	}
+}
+
+func TestKaiserZeroTruncation(t *testing.T) {
+	d := DesignKaiser(48, 0.25, 1e3)
+	if d.Metrics.EpsTrunc != 0 {
+		t.Errorf("Kaiser with T=B/2 must have zero truncation, got %.3g", d.Metrics.EpsTrunc)
+	}
+	if d.Metrics.Kappa > 1e3 {
+		t.Errorf("designer violated kappa bound: %.3g", d.Metrics.Kappa)
+	}
+	// The family delivers a usable reduced-accuracy window; the κ-alias
+	// tension caps it near 5 digits at β=1/4 (see the type comment).
+	if d.Metrics.Digits() < 4 {
+		t.Errorf("Kaiser design only %.1f digits", d.Metrics.Digits())
+	}
+	// Relaxing κ buys accuracy, demonstrating the tension.
+	loose := DesignKaiser(48, 0.25, 1e6)
+	if loose.Metrics.Digits() <= d.Metrics.Digits() {
+		t.Errorf("looser kappa should improve digits: %.1f vs %.1f",
+			loose.Metrics.Digits(), d.Metrics.Digits())
+	}
+}
+
+func TestKaiserSupportEdges(t *testing.T) {
+	w := KaiserBessel{Shape: 20, HalfWidth: 10}
+	if w.HTime(10.0001) != 0 || w.HTime(-11) != 0 {
+		t.Error("HTime must vanish outside [-T, T]")
+	}
+	if w.HTime(0) != 1 {
+		t.Errorf("HTime(0) = %g, want 1 (normalized)", w.HTime(0))
+	}
+	// Continuity across the sinh/sin turnover u* = b/(2πT).
+	us := 20 / (2 * math.Pi * 10)
+	a := w.HHat(us - 1e-9)
+	b := w.HHat(us + 1e-9)
+	if math.Abs(a-b) > 1e-6*math.Abs(a) {
+		t.Errorf("HHat discontinuous at turnover: %g vs %g", a, b)
+	}
+}

@@ -1,0 +1,71 @@
+package window
+
+import (
+	"math"
+	"testing"
+)
+
+// TestTabulatedReproducesClosedForm tabulates the (τ,σ) window's Ĥ and
+// checks the interpolated H(t) against the closed form.
+func TestTabulatedReproducesClosedForm(t *testing.T) {
+	ref := TauSigma{Tau: 0.8, Sigma: 60}
+	// The Gaussian tail of Ĥ is ~1e-17 beyond |u| ≈ 0.4+6/√60 ≈ 1.2.
+	tab, err := NewTabulated("tab-tausigma", ref.HHat, 1.6, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tt := range []float64{0, 0.13, 0.5, 1.7, 3.1415, 7.77, 12.5, 20} {
+		got := tab.HTime(tt)
+		want := ref.HTime(tt)
+		if math.Abs(got-want) > 1e-8 {
+			t.Errorf("H(%g) = %.12g, closed form %.12g", tt, got, want)
+		}
+		// Even symmetry.
+		if g2 := tab.HTime(-tt); g2 != got {
+			t.Errorf("H(-%g) = %g != H(%g) = %g", tt, g2, tt, got)
+		}
+	}
+	// Support clipping in frequency.
+	if tab.HHat(1.7) != 0 || tab.HHat(-2) != 0 {
+		t.Error("HHat must vanish outside the declared support")
+	}
+	// Beyond the table: zero.
+	if tab.HTime(1e6) != 0 {
+		t.Error("HTime must vanish beyond the table")
+	}
+}
+
+func TestTabulatedArgErrors(t *testing.T) {
+	if _, err := NewTabulated("x", func(float64) float64 { return 1 }, -1, 10); err == nil {
+		t.Error("expected support error")
+	}
+	if _, err := NewTabulated("x", func(float64) float64 { return 1 }, 0.5, 0); err == nil {
+		t.Error("expected tMax error")
+	}
+}
+
+func TestCompactBumpZeroAliasing(t *testing.T) {
+	w, err := NewCompactBump(0.25, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Analyze(w, 0.25, 96)
+	if m.EpsAlias != 0 {
+		t.Errorf("compact support must give exactly zero aliasing, got %.3g", m.EpsAlias)
+	}
+	// κ is modest for the bump: Ĥ(0)/Ĥ(1/2) = e^{1/ (1-(2/3)^2)-1} ≈ 2.2.
+	if m.Kappa < 1.5 || m.Kappa > 4 {
+		t.Errorf("bump kappa %.3g outside expected band", m.Kappa)
+	}
+	// Truncation decays sub-exponentially: more taps must help.
+	m48 := Analyze(w, 0.25, 48)
+	if !(m.EpsTrunc < m48.EpsTrunc) {
+		t.Errorf("96-tap truncation %.3g should beat 48-tap %.3g", m.EpsTrunc, m48.EpsTrunc)
+	}
+}
+
+func TestCompactBumpBadBeta(t *testing.T) {
+	if _, err := NewCompactBump(0, 40); err == nil {
+		t.Error("expected beta error")
+	}
+}

@@ -1,0 +1,130 @@
+package soifft
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"soifft/internal/core"
+	"soifft/internal/window"
+)
+
+// Wisdom is a serializable description of a plan's tuning — the SOI
+// analogue of FFTW's wisdom files. Saving and reloading skips the window
+// design search on startup; the numerical tables are rebuilt
+// deterministically from these parameters, so a reloaded plan computes
+// bit-identical results.
+type Wisdom struct {
+	Version  int       `json:"version"`
+	N        int       `json:"n"`
+	Segments int       `json:"segments"`
+	Mu       int       `json:"mu"`
+	Nu       int       `json:"nu"`
+	Taps     int       `json:"taps"`
+	Workers  int       `json:"workers,omitempty"`
+	Window   WindowRef `json:"window"`
+}
+
+// WindowRef names a window family and its parameters.
+type WindowRef struct {
+	Family string    `json:"family"`
+	Params []float64 `json:"params,omitempty"`
+}
+
+const wisdomVersion = 1
+
+// WriteWisdom serializes the plan's tuning as JSON.
+func (p *Plan) WriteWisdom(w io.Writer) error {
+	prm := p.inner.Params()
+	ref, err := windowRefOf(prm.Win)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(Wisdom{
+		Version:  wisdomVersion,
+		N:        prm.N,
+		Segments: prm.P,
+		Mu:       prm.Mu,
+		Nu:       prm.Nu,
+		Taps:     prm.B,
+		Workers:  prm.Workers,
+		Window:   ref,
+	})
+}
+
+// ReadWisdom reconstructs a plan from serialized wisdom.
+func ReadWisdom(r io.Reader) (*Plan, error) {
+	var wd Wisdom
+	if err := json.NewDecoder(r).Decode(&wd); err != nil {
+		return nil, fmt.Errorf("soifft: decoding wisdom: %w", err)
+	}
+	if wd.Version != wisdomVersion {
+		return nil, fmt.Errorf("soifft: wisdom version %d unsupported (want %d)", wd.Version, wisdomVersion)
+	}
+	win, err := windowFromRef(wd.Window)
+	if err != nil {
+		return nil, err
+	}
+	inner, err := core.NewPlan(core.Params{
+		N: wd.N, P: wd.Segments, Mu: wd.Mu, Nu: wd.Nu, B: wd.Taps,
+		Workers: wd.Workers, Win: win,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Plan{inner: inner}, nil
+}
+
+func windowRefOf(w window.Window) (WindowRef, error) {
+	switch v := w.(type) {
+	case window.TauSigma:
+		return WindowRef{Family: "tau-sigma", Params: []float64{v.Tau, v.Sigma}}, nil
+	case window.Gaussian:
+		return WindowRef{Family: "gaussian", Params: []float64{v.A}}, nil
+	case window.KaiserBessel:
+		return WindowRef{Family: "kaiser-bessel", Params: []float64{v.Shape, v.HalfWidth}}, nil
+	case *window.Tabulated:
+		if beta, tMax, ok := v.BumpParams(); ok {
+			return WindowRef{Family: "compact-bump", Params: []float64{beta, tMax}}, nil
+		}
+		return WindowRef{}, fmt.Errorf("soifft: custom tabulated window %v is not serializable", v)
+	default:
+		return WindowRef{}, fmt.Errorf("soifft: window %v is not serializable as wisdom", w)
+	}
+}
+
+func windowFromRef(ref WindowRef) (window.Window, error) {
+	need := func(n int) error {
+		if len(ref.Params) != n {
+			return fmt.Errorf("soifft: window family %q needs %d params, got %d",
+				ref.Family, n, len(ref.Params))
+		}
+		return nil
+	}
+	switch ref.Family {
+	case "tau-sigma":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		return window.TauSigma{Tau: ref.Params[0], Sigma: ref.Params[1]}, nil
+	case "gaussian":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		return window.Gaussian{A: ref.Params[0]}, nil
+	case "kaiser-bessel":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		return window.KaiserBessel{Shape: ref.Params[0], HalfWidth: ref.Params[1]}, nil
+	case "compact-bump":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		return window.NewCompactBump(ref.Params[0], ref.Params[1])
+	default:
+		return nil, fmt.Errorf("soifft: unknown window family %q", ref.Family)
+	}
+}

@@ -1,0 +1,84 @@
+package soifft
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"soifft/internal/signal"
+)
+
+func TestWisdomRoundTrip(t *testing.T) {
+	const n = 2048
+	orig, err := NewPlan(n, WithTaps(48))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := orig.WriteWisdom(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "tau-sigma") {
+		t.Errorf("wisdom should name the window family: %s", buf.String())
+	}
+	re, err := ReadWisdom(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.N() != n || re.Taps() != 48 || re.Segments() != orig.Segments() {
+		t.Errorf("reloaded plan differs: N=%d B=%d P=%d", re.N(), re.Taps(), re.Segments())
+	}
+	// Bit-identical results.
+	src := signal.Random(n, 5)
+	a := make([]complex128, n)
+	b := make([]complex128, n)
+	if err := orig.Transform(a, src); err != nil {
+		t.Fatal(err)
+	}
+	if err := re.Transform(b, src); err != nil {
+		t.Fatal(err)
+	}
+	if e := signal.MaxAbsErr(a, b); e != 0 {
+		t.Errorf("reloaded plan differs by %.3e", e)
+	}
+}
+
+func TestWisdomErrors(t *testing.T) {
+	if _, err := ReadWisdom(strings.NewReader("not json")); err == nil {
+		t.Error("expected decode error")
+	}
+	if _, err := ReadWisdom(strings.NewReader(`{"version":99}`)); err == nil {
+		t.Error("expected version error")
+	}
+	if _, err := ReadWisdom(strings.NewReader(
+		`{"version":1,"n":64,"segments":2,"mu":5,"nu":4,"taps":8,` +
+			`"window":{"family":"nope"}}`)); err == nil {
+		t.Error("expected unknown family error")
+	}
+	if _, err := ReadWisdom(strings.NewReader(
+		`{"version":1,"n":64,"segments":2,"mu":5,"nu":4,"taps":8,` +
+			`"window":{"family":"tau-sigma","params":[1]}}`)); err == nil {
+		t.Error("expected params count error")
+	}
+	// Invalid core parameters must be rejected on reload too.
+	if _, err := ReadWisdom(strings.NewReader(
+		`{"version":1,"n":63,"segments":2,"mu":5,"nu":4,"taps":8,` +
+			`"window":{"family":"gaussian","params":[40]}}`)); err == nil {
+		t.Error("expected core validation error")
+	}
+}
+
+func TestWisdomCompactBump(t *testing.T) {
+	// A compact-bump window plan must round-trip through wisdom.
+	w, err := windowFromRef(WindowRef{Family: "compact-bump", Params: []float64{0.25, 56}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := windowRefOf(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Family != "compact-bump" || ref.Params[0] != 0.25 || ref.Params[1] != 56 {
+		t.Errorf("round-tripped ref = %+v", ref)
+	}
+}
