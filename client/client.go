@@ -1,0 +1,163 @@
+// Package client is the Go client for the soiserve FFT service: it
+// speaks the length-prefixed TCP protocol of internal/serve over one
+// long-lived connection, maps non-OK responses to typed errors, and
+// offers a retry helper that honors the server's backpressure hints.
+package client
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"soifft"
+	"soifft/internal/serve"
+)
+
+// Options name the plan a request should execute under. The zero value
+// lets the server choose all defaults (the same defaults as
+// soifft.NewPlan).
+type Options struct {
+	Segments int // SOI segment count P (0 = default)
+	Mu, Nu   int // oversampling μ/ν (0,0 = default 5/4)
+	Taps     int // convolution taps B (0 = default)
+	// Accuracy selects a preset rung instead of explicit taps when
+	// UseAccuracy is set.
+	Accuracy    soifft.Accuracy
+	UseAccuracy bool
+}
+
+func (o *Options) fill(req *serve.Request) {
+	req.Accuracy = serve.AccuracyNone
+	if o == nil {
+		return
+	}
+	req.Segments = o.Segments
+	req.Mu, req.Nu = o.Mu, o.Nu
+	req.Taps = o.Taps
+	if o.UseAccuracy {
+		req.Accuracy = int(o.Accuracy)
+	}
+}
+
+// Client is a connection to one soiserve instance. A Client serializes
+// its requests (the protocol is strict request/response); open several
+// clients for in-flight parallelism. Safe for concurrent use.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+	maxN int
+}
+
+// MaxN is the largest response payload a client will accept.
+const MaxN = 1 << 24
+
+// Dial connects to a soiserve instance.
+func Dial(addr string) (*Client, error) {
+	return DialTimeout(addr, 10*time.Second)
+}
+
+// DialTimeout connects with a bounded dial.
+func DialTimeout(addr string, timeout time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("client: dialing %s: %w", addr, err)
+	}
+	return &Client{
+		conn: conn,
+		br:   bufio.NewReader(conn),
+		bw:   bufio.NewWriter(conn),
+		maxN: MaxN,
+	}, nil
+}
+
+// Close tears down the connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.conn.Close()
+}
+
+// Ping round-trips an empty frame.
+func (c *Client) Ping() error {
+	_, err := c.do(&serve.Request{Op: serve.OpPing, Accuracy: serve.AccuracyNone})
+	return err
+}
+
+// Transform computes DFT(data) on the server under the plan named by
+// opt (nil = server defaults).
+func (c *Client) Transform(data []complex128, opt *Options) ([]complex128, error) {
+	return c.transform(serve.OpForward, data, opt)
+}
+
+// Inverse computes IDFT(data) on the server.
+func (c *Client) Inverse(data []complex128, opt *Options) ([]complex128, error) {
+	return c.transform(serve.OpInverse, data, opt)
+}
+
+func (c *Client) transform(op serve.Op, data []complex128, opt *Options) ([]complex128, error) {
+	req := &serve.Request{Op: op, N: len(data), Data: data}
+	opt.fill(req)
+	return c.do(req)
+}
+
+func (c *Client) do(req *serve.Request) ([]complex128, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := serve.WriteRequest(c.bw, req); err != nil {
+		return nil, fmt.Errorf("client: send: %w", err)
+	}
+	if err := c.bw.Flush(); err != nil {
+		return nil, fmt.Errorf("client: send: %w", err)
+	}
+	resp, err := serve.ReadResponse(c.br, c.maxN)
+	if err != nil {
+		return nil, fmt.Errorf("client: recv: %w", err)
+	}
+	if err := resp.Err(); err != nil {
+		return nil, err
+	}
+	return resp.Data, nil
+}
+
+// IsOverloaded reports whether err is a backpressure rejection and
+// returns the server's retry-after hint.
+func IsOverloaded(err error) (time.Duration, bool) { return serve.IsOverloaded(err) }
+
+// IsDraining reports whether err means the server is shutting down.
+func IsDraining(err error) bool { return serve.IsDraining(err) }
+
+// TransformRetry is Transform plus bounded retries on backpressure: it
+// sleeps for the server's retry-after hint (doubling each attempt) and
+// gives up when ctx expires or attempts run out.
+func (c *Client) TransformRetry(ctx context.Context, data []complex128, opt *Options, attempts int) ([]complex128, error) {
+	if attempts <= 0 {
+		attempts = 5
+	}
+	var lastErr error
+	for i := 0; i < attempts; i++ {
+		out, err := c.Transform(data, opt)
+		if err == nil {
+			return out, nil
+		}
+		lastErr = err
+		wait, ok := IsOverloaded(err)
+		if !ok {
+			return nil, err
+		}
+		if wait <= 0 {
+			wait = 10 * time.Millisecond
+		}
+		wait <<= i
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(wait):
+		}
+	}
+	return nil, lastErr
+}

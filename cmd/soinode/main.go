@@ -11,6 +11,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -32,6 +33,8 @@ func main() {
 	segments := flag.Int("segments", 8, "SOI segments P")
 	taps := flag.Int("taps", 72, "convolution taps B")
 	seed := flag.Int64("seed", 1, "shared input seed")
+	connectTimeout := flag.Duration("connect-timeout", mpinet.DefaultConnectTimeout,
+		"how long to wait for all peers before giving up")
 	flag.Parse()
 
 	addrs := strings.Split(*peers, ",")
@@ -39,9 +42,15 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	node.SetConnectTimeout(*connectTimeout)
 	fmt.Printf("rank %d/%d listening on %s\n", *rank, *size, node.Addr())
 	proc, err := node.Connect(addrs)
 	if err != nil {
+		var pe *mpinet.PeerError
+		if errors.As(err, &pe) {
+			fail(fmt.Errorf("%w\npeer rank %d never appeared at %s within %v — check that every rank is running and -peers lists the same addresses in rank order",
+				err, pe.Rank, pe.Addr, *connectTimeout))
+		}
 		fail(err)
 	}
 	defer proc.Close()

@@ -1,0 +1,214 @@
+// Command soiserve runs the SOI FFT service and its client verb.
+//
+//	soiserve serve -addr 127.0.0.1:7080 -metrics-addr 127.0.0.1:7081 \
+//	    -wisdom plan1.json,plan2.json -cache 32 -max-batch 8 -linger 2ms
+//
+// starts a long-running server: transform requests over TCP resolve
+// through an LRU plan cache (warmable from wisdom files), same-plan
+// requests coalesce into batches on a bounded worker pool with
+// backpressure, and live metrics are exported on the metrics address
+// (/debug/vars, /healthz). SIGTERM/SIGINT drain gracefully: accepted
+// requests finish, then the process exits 0.
+//
+//	soiserve query -addr 127.0.0.1:7080 -n 65536 -segments 8 -taps 72 \
+//	    [-inverse] [-count 4] [-signal random|tones|chirp] [-check]
+//
+// sends transform requests to a running server and reports latency
+// (and, with -check, accuracy against a locally computed FFT).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"soifft"
+	"soifft/client"
+	"soifft/internal/serve"
+	sig "soifft/internal/signal"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "serve":
+		runServe(os.Args[2:])
+	case "query":
+		runQuery(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: soiserve serve|query [flags]  (run with -h for flags)")
+	os.Exit(2)
+}
+
+func runServe(args []string) {
+	fs := flag.NewFlagSet("soiserve serve", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:7080", "TCP listen address for transform requests")
+	metricsAddr := fs.String("metrics-addr", "127.0.0.1:7081", "HTTP listen address for /debug/vars and /healthz (empty = disabled)")
+	wisdom := fs.String("wisdom", "", "comma-separated wisdom files to warm the plan cache from")
+	cache := fs.Int("cache", 32, "plan cache capacity")
+	workers := fs.Int("workers", 0, "transform worker goroutines (0 = GOMAXPROCS)")
+	maxBatch := fs.Int("max-batch", 8, "max same-plan requests per batch")
+	linger := fs.Duration("linger", 2*time.Millisecond, "max wait for a batch to fill")
+	queue := fs.Int("queue", 256, "max queued requests before backpressure rejection")
+	maxN := fs.Int("max-n", 1<<22, "largest accepted transform length")
+	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "graceful drain budget on SIGTERM")
+	_ = fs.Parse(args)
+
+	s := serve.New(serve.Config{
+		Addr: *addr, CacheCapacity: *cache, Workers: *workers,
+		MaxBatch: *maxBatch, MaxLinger: *linger, QueueDepth: *queue,
+		MaxN: *maxN,
+		Logf: func(format string, a ...any) { fmt.Fprintf(os.Stderr, format+"\n", a...) },
+	})
+
+	if *wisdom != "" {
+		for _, path := range strings.Split(*wisdom, ",") {
+			f, err := os.Open(path)
+			if err != nil {
+				fail(err)
+			}
+			p, err := s.Cache().WarmWisdom(f)
+			f.Close()
+			if err != nil {
+				fail(fmt.Errorf("warming from %s: %w", path, err))
+			}
+			fmt.Printf("soiserve: warmed %v (predicted digits %.1f)\n", p.Key(), p.PredictedDigits())
+		}
+	}
+
+	if err := s.Listen(); err != nil {
+		fail(err)
+	}
+	fmt.Printf("soiserve: listening on %s\n", s.Addr())
+
+	if *metricsAddr != "" {
+		ms := &http.Server{Addr: *metricsAddr, Handler: s.Metrics().Handler()}
+		go func() {
+			if err := ms.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintln(os.Stderr, "soiserve: metrics:", err)
+			}
+		}()
+		defer ms.Close()
+		fmt.Printf("soiserve: metrics on http://%s/debug/vars\n", *metricsAddr)
+	}
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- s.Serve() }()
+
+	select {
+	case err := <-serveDone:
+		if err != nil {
+			fail(err)
+		}
+	case got := <-sigCh:
+		fmt.Printf("soiserve: %v — draining\n", got)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			fail(fmt.Errorf("drain: %w", err))
+		}
+		if err := <-serveDone; err != nil {
+			fail(err)
+		}
+		fmt.Println("soiserve: drained, exiting")
+	}
+}
+
+func runQuery(args []string) {
+	fs := flag.NewFlagSet("soiserve query", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:7080", "server address")
+	n := fs.Int("n", 1<<16, "transform length")
+	segments := fs.Int("segments", 0, "SOI segments P (0 = server default)")
+	taps := fs.Int("taps", 0, "convolution taps B (0 = server default)")
+	accuracy := fs.Int("accuracy", -1, "accuracy rung 0-4 (overrides -taps; -1 = off)")
+	inverse := fs.Bool("inverse", false, "compute the inverse transform")
+	count := fs.Int("count", 1, "number of requests to send")
+	sigName := fs.String("signal", "random", "generated input: random|tones|chirp")
+	check := fs.Bool("check", false, "verify answers against a locally computed FFT")
+	_ = fs.Parse(args)
+
+	c, err := client.Dial(*addr)
+	if err != nil {
+		fail(err)
+	}
+	defer c.Close()
+
+	opt := &client.Options{Segments: *segments, Taps: *taps}
+	if *accuracy >= 0 {
+		opt.Accuracy = soifft.Accuracy(*accuracy)
+		opt.UseAccuracy = true
+	}
+	src, err := makeSignal(*sigName, *n)
+	if err != nil {
+		fail(err)
+	}
+	var ref []complex128
+	if *check {
+		if *inverse {
+			ref, err = soifft.IFFT(src)
+		} else {
+			ref, err = soifft.FFT(src)
+		}
+		if err != nil {
+			fail(err)
+		}
+	}
+
+	ctx := context.Background()
+	var total time.Duration
+	for i := 0; i < *count; i++ {
+		start := time.Now()
+		var got []complex128
+		if *inverse {
+			got, err = c.Inverse(src, opt)
+		} else {
+			got, err = c.TransformRetry(ctx, src, opt, 5)
+		}
+		if err != nil {
+			fail(err)
+		}
+		d := time.Since(start)
+		total += d
+		line := fmt.Sprintf("request %d: %d points in %v", i+1, len(got), d)
+		if *check {
+			line += fmt.Sprintf(" (rel err %.3e, SNR %.0f dB)", sig.RelErrL2(got, ref), sig.SNRdB(got, ref))
+		}
+		fmt.Println(line)
+	}
+	if *count > 1 {
+		fmt.Printf("mean latency %v over %d requests\n", total/time.Duration(*count), *count)
+	}
+}
+
+func makeSignal(name string, n int) ([]complex128, error) {
+	switch name {
+	case "random":
+		return sig.Random(n, 1), nil
+	case "tones":
+		return sig.Tones(n, []int{3, n / 3, n - 7}, []complex128{1, 0.5i, 0.25}), nil
+	case "chirp":
+		return sig.Chirp(n, 0, float64(n)/2), nil
+	default:
+		return nil, fmt.Errorf("unknown signal %q", name)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "soiserve:", err)
+	os.Exit(1)
+}

@@ -22,9 +22,30 @@ import (
 
 // Node is a rank that has opened its listener but not yet met its peers.
 type Node struct {
-	rank, size int
-	ln         net.Listener
+	rank, size     int
+	ln             net.Listener
+	connectTimeout time.Duration
+	dialInterval   time.Duration
 }
+
+// DefaultConnectTimeout is how long Connect waits for the full mesh
+// (every dial and accept) before giving up.
+const DefaultConnectTimeout = 15 * time.Second
+
+// PeerError reports a peer that could not be reached while forming the
+// mesh; it names the peer's rank and address and wraps the underlying
+// cause.
+type PeerError struct {
+	Rank int
+	Addr string
+	Err  error
+}
+
+func (e *PeerError) Error() string {
+	return fmt.Sprintf("mpinet: peer rank %d at %s unreachable: %v", e.Rank, e.Addr, e.Err)
+}
+
+func (e *PeerError) Unwrap() error { return e.Err }
 
 // NewNode starts rank's listener on listenAddr (use "127.0.0.1:0" to let
 // the OS choose a port; Addr reports the result).
@@ -36,7 +57,21 @@ func NewNode(rank, size int, listenAddr string) (*Node, error) {
 	if err != nil {
 		return nil, fmt.Errorf("mpinet: listen: %w", err)
 	}
-	return &Node{rank: rank, size: size, ln: ln}, nil
+	return &Node{
+		rank: rank, size: size, ln: ln,
+		connectTimeout: DefaultConnectTimeout,
+		dialInterval:   150 * time.Millisecond,
+	}, nil
+}
+
+// SetConnectTimeout bounds how long Connect waits for the whole mesh to
+// form (peers may start in arbitrary order, so dials retry and accepts
+// wait until this deadline). Non-positive d restores the default.
+func (n *Node) SetConnectTimeout(d time.Duration) {
+	if d <= 0 {
+		d = DefaultConnectTimeout
+	}
+	n.connectTimeout = d
 }
 
 // Addr returns the listener's address for sharing with peers.
@@ -50,27 +85,34 @@ func (n *Node) Connect(addrs []string) (*Proc, error) {
 		return nil, fmt.Errorf("mpinet: need %d addresses, got %d", n.size, len(addrs))
 	}
 	p := &Proc{rank: n.rank, size: n.size, peers: make([]*peer, n.size)}
+	deadline := time.Now().Add(n.connectTimeout)
 
 	// Dial lower ranks, identifying ourselves with an 8-byte hello.
 	// Peers may not have opened their listeners yet (processes start in
-	// arbitrary order), so retry with backoff for up to ~15 seconds.
+	// arbitrary order), so retry until the connect deadline.
 	for r := 0; r < n.rank; r++ {
-		conn, err := dialRetry(addrs[r])
+		conn, err := dialRetry(addrs[r], deadline, n.dialInterval)
 		if err != nil {
-			return nil, fmt.Errorf("mpinet: rank %d dialing rank %d at %s: %w", n.rank, r, addrs[r], err)
+			return nil, &PeerError{Rank: r, Addr: addrs[r],
+				Err: fmt.Errorf("rank %d gave up dialing after %v: %w", n.rank, n.connectTimeout, err)}
 		}
 		var hello [8]byte
 		binary.LittleEndian.PutUint64(hello[:], uint64(n.rank))
 		if _, err := conn.Write(hello[:]); err != nil {
-			return nil, fmt.Errorf("mpinet: hello to rank %d: %w", r, err)
+			return nil, &PeerError{Rank: r, Addr: addrs[r], Err: fmt.Errorf("hello: %w", err)}
 		}
 		p.peers[r] = newPeer(conn)
 	}
-	// Accept higher ranks.
+	// Accept higher ranks, bounded by the same deadline.
+	if tl, ok := n.ln.(*net.TCPListener); ok {
+		_ = tl.SetDeadline(deadline)
+	}
 	for got := n.rank + 1; got < n.size; got++ {
 		conn, err := n.ln.Accept()
 		if err != nil {
-			return nil, fmt.Errorf("mpinet: rank %d accept: %w", n.rank, err)
+			missing := n.size - got
+			return nil, fmt.Errorf("mpinet: rank %d timed out waiting for %d higher rank(s) to connect within %v: %w",
+				n.rank, missing, n.connectTimeout, err)
 		}
 		var hello [8]byte
 		if _, err := io.ReadFull(conn, hello[:]); err != nil {
@@ -93,18 +135,32 @@ func (n *Node) Connect(addrs []string) (*Proc, error) {
 	return p, nil
 }
 
-// dialRetry dials with linear backoff while peers are still launching.
-func dialRetry(addr string) (net.Conn, error) {
+// dialRetry dials with a fixed retry interval while peers are still
+// launching, giving up at the deadline.
+func dialRetry(addr string, deadline time.Time, interval time.Duration) (net.Conn, error) {
 	var lastErr error
-	for attempt := 0; attempt < 100; attempt++ {
-		conn, err := net.DialTimeout("tcp", addr, 2*time.Second)
+	for {
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			if lastErr == nil {
+				lastErr = fmt.Errorf("connect deadline passed")
+			}
+			return nil, lastErr
+		}
+		dialBudget := remaining
+		if dialBudget > 2*time.Second {
+			dialBudget = 2 * time.Second
+		}
+		conn, err := net.DialTimeout("tcp", addr, dialBudget)
 		if err == nil {
 			return conn, nil
 		}
 		lastErr = err
-		time.Sleep(150 * time.Millisecond)
+		if time.Until(deadline) < interval {
+			return nil, lastErr
+		}
+		time.Sleep(interval)
 	}
-	return nil, lastErr
 }
 
 // Proc is a connected rank; it satisfies core.Comm.

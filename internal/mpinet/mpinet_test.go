@@ -1,9 +1,13 @@
 package mpinet
 
 import (
+	"errors"
 	"fmt"
+	"net"
+	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"soifft/internal/core"
 	"soifft/internal/fft"
@@ -187,6 +191,70 @@ func TestTCPDistributedSegment(t *testing.T) {
 	m := pl.M()
 	if e := signal.MaxAbsErr(seg, full[3*m:4*m]); e > 1e-10 {
 		t.Errorf("TCP segment differs by %.3e", e)
+	}
+}
+
+// unusedAddr reserves then releases a port, returning an address with
+// no listener behind it.
+func unusedAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// TestConnectDialTimeoutNamesPeer checks that a dial that never
+// succeeds gives up within the configured window and identifies the
+// unreachable peer's rank and address in a typed, wrapped error.
+func TestConnectDialTimeoutNamesPeer(t *testing.T) {
+	n, err := NewNode(1, 2, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.SetConnectTimeout(400 * time.Millisecond)
+	dead := unusedAddr(t)
+	start := time.Now()
+	_, err = n.Connect([]string{dead, n.Addr()})
+	if err == nil {
+		t.Fatal("Connect to a dead peer succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("Connect hung %v past its 400ms window", elapsed)
+	}
+	var pe *PeerError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error is %T, want *PeerError: %v", err, err)
+	}
+	if pe.Rank != 0 || pe.Addr != dead {
+		t.Errorf("PeerError names rank %d addr %s, want rank 0 addr %s", pe.Rank, pe.Addr, dead)
+	}
+	if !strings.Contains(err.Error(), dead) || !strings.Contains(err.Error(), "rank 0") {
+		t.Errorf("error text %q does not name the peer", err)
+	}
+}
+
+// TestConnectAcceptTimeout checks that a rank waiting for higher ranks
+// that never appear errors out instead of hanging.
+func TestConnectAcceptTimeout(t *testing.T) {
+	n, err := NewNode(0, 2, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.SetConnectTimeout(300 * time.Millisecond)
+	start := time.Now()
+	_, err = n.Connect([]string{n.Addr(), unusedAddr(t)})
+	if err == nil {
+		t.Fatal("Connect with an absent higher rank succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("Connect hung %v past its 300ms window", elapsed)
+	}
+	if !strings.Contains(err.Error(), "waiting for 1 higher rank") {
+		t.Errorf("error text %q does not explain the missing peer", err)
 	}
 }
 

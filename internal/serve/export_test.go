@@ -1,0 +1,10 @@
+package serve
+
+// SetExecHook installs a function the worker pool runs at the start of
+// every batch — a test seam for holding the queue occupied
+// deterministically.
+func (s *Server) SetExecHook(fn func()) {
+	s.mu.Lock()
+	s.execHook = fn
+	s.mu.Unlock()
+}

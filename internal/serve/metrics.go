@@ -1,0 +1,202 @@
+package serve
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"io"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// Metrics is the server's live instrumentation: monotonic counters
+// updated on the hot path plus computed gauges (queue depth, cache
+// stats) sampled at scrape time. All methods are safe for concurrent
+// use.
+type Metrics struct {
+	start time.Time
+
+	requests atomic.Int64 // accepted transform/ping requests
+	rejected atomic.Int64 // backpressure rejections
+	drained  atomic.Int64 // requests refused because the server is draining
+	errors   atomic.Int64 // bad-request + internal errors
+	bytesIn  atomic.Int64
+	bytesOut atomic.Int64
+
+	batches  atomic.Int64 // TransformBatch/inverse batches executed
+	batchJob atomic.Int64 // jobs carried by those batches
+	maxBatch atomic.Int64 // largest batch observed
+
+	// batchBuckets histograms batch sizes: 1, 2-3, 4-7, 8-15, >=16.
+	batchBuckets [5]atomic.Int64
+	// latBuckets histograms request latency: <1ms, <10ms, <100ms, <1s, >=1s.
+	latBuckets [5]atomic.Int64
+	latTotalUS atomic.Int64
+
+	// sampled at scrape time by the owning server.
+	queueDepth func() int64
+	cacheVars  func() map[string]any
+	healthy    func() bool
+}
+
+var batchBucketNames = [5]string{"1", "2-3", "4-7", "8-15", "16+"}
+var latBucketNames = [5]string{"lt_1ms", "lt_10ms", "lt_100ms", "lt_1s", "ge_1s"}
+
+func newMetrics() *Metrics {
+	return &Metrics{start: time.Now()}
+}
+
+func (m *Metrics) observeBatch(size int) {
+	m.batches.Add(1)
+	m.batchJob.Add(int64(size))
+	for {
+		cur := m.maxBatch.Load()
+		if int64(size) <= cur || m.maxBatch.CompareAndSwap(cur, int64(size)) {
+			break
+		}
+	}
+	switch {
+	case size <= 1:
+		m.batchBuckets[0].Add(1)
+	case size <= 3:
+		m.batchBuckets[1].Add(1)
+	case size <= 7:
+		m.batchBuckets[2].Add(1)
+	case size <= 15:
+		m.batchBuckets[3].Add(1)
+	default:
+		m.batchBuckets[4].Add(1)
+	}
+}
+
+func (m *Metrics) observeLatency(d time.Duration) {
+	m.latTotalUS.Add(d.Microseconds())
+	switch {
+	case d < time.Millisecond:
+		m.latBuckets[0].Add(1)
+	case d < 10*time.Millisecond:
+		m.latBuckets[1].Add(1)
+	case d < 100*time.Millisecond:
+		m.latBuckets[2].Add(1)
+	case d < time.Second:
+		m.latBuckets[3].Add(1)
+	default:
+		m.latBuckets[4].Add(1)
+	}
+}
+
+// Counter accessors for tests and operators.
+
+// Requests returns the count of accepted requests.
+func (m *Metrics) Requests() int64 { return m.requests.Load() }
+
+// Rejected returns the count of backpressure rejections.
+func (m *Metrics) Rejected() int64 { return m.rejected.Load() }
+
+// Batches returns the count of executed batches.
+func (m *Metrics) Batches() int64 { return m.batches.Load() }
+
+// MaxBatch returns the largest batch size observed.
+func (m *Metrics) MaxBatch() int64 { return m.maxBatch.Load() }
+
+// BytesIn returns the bytes read from clients.
+func (m *Metrics) BytesIn() int64 { return m.bytesIn.Load() }
+
+// BytesOut returns the bytes written to clients.
+func (m *Metrics) BytesOut() int64 { return m.bytesOut.Load() }
+
+// Snapshot renders every metric as a JSON-encodable tree, the value
+// served under the "soiserve" key of /debug/vars.
+func (m *Metrics) Snapshot() map[string]any {
+	batchHist := map[string]int64{}
+	for i, name := range batchBucketNames {
+		batchHist[name] = m.batchBuckets[i].Load()
+	}
+	latHist := map[string]int64{}
+	for i, name := range latBucketNames {
+		latHist[name] = m.latBuckets[i].Load()
+	}
+	snap := map[string]any{
+		"uptime_seconds":   int64(time.Since(m.start).Seconds()),
+		"requests_total":   m.requests.Load(),
+		"rejected_total":   m.rejected.Load(),
+		"drained_total":    m.drained.Load(),
+		"errors_total":     m.errors.Load(),
+		"bytes_in":         m.bytesIn.Load(),
+		"bytes_out":        m.bytesOut.Load(),
+		"batches_total":    m.batches.Load(),
+		"batched_jobs":     m.batchJob.Load(),
+		"batch_size_max":   m.maxBatch.Load(),
+		"batch_size_hist":  batchHist,
+		"latency_hist":     latHist,
+		"latency_total_us": m.latTotalUS.Load(),
+	}
+	if m.queueDepth != nil {
+		snap["queue_depth"] = m.queueDepth()
+	}
+	if m.cacheVars != nil {
+		snap["plan_cache"] = m.cacheVars()
+	}
+	return snap
+}
+
+// Handler returns the metrics HTTP mux: /debug/vars in expvar format
+// (process-wide expvar variables plus this server's "soiserve" tree)
+// and /healthz reporting 200 while serving, 503 once draining.
+func (m *Metrics) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		fmt.Fprintf(w, "{\n")
+		first := true
+		expvar.Do(func(kv expvar.KeyValue) {
+			if !first {
+				fmt.Fprintf(w, ",\n")
+			}
+			first = false
+			fmt.Fprintf(w, "%q: %s", kv.Key, kv.Value)
+		})
+		own, err := json.Marshal(m.Snapshot())
+		if err != nil {
+			own = []byte(`"unserializable"`)
+		}
+		if !first {
+			fmt.Fprintf(w, ",\n")
+		}
+		fmt.Fprintf(w, "%q: %s", "soiserve", own)
+		fmt.Fprintf(w, "\n}\n")
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if m.healthy != nil && !m.healthy() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// countingReader counts bytes read into the metrics.
+type countingReader struct {
+	r io.Reader
+	n *atomic.Int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n.Add(int64(n))
+	return n, err
+}
+
+// countingWriter counts bytes written into the metrics.
+type countingWriter struct {
+	w io.Writer
+	n *atomic.Int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n.Add(int64(n))
+	return n, err
+}

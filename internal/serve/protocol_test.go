@@ -1,0 +1,75 @@
+package serve
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRequestRoundTrip(t *testing.T) {
+	req := &Request{
+		Op: OpForward, N: 4, Segments: 2, Mu: 5, Nu: 4, Taps: 24,
+		Accuracy: AccuracyNone,
+		Data:     []complex128{1, 2i, -3, complex(0.5, -0.25)},
+	}
+	var buf bytes.Buffer
+	if err := WriteRequest(&buf, req); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadRequest(&buf, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Op != req.Op || got.N != req.N || got.Segments != req.Segments ||
+		got.Mu != req.Mu || got.Nu != req.Nu || got.Taps != req.Taps ||
+		got.Accuracy != req.Accuracy {
+		t.Fatalf("header round trip: %+v != %+v", got, req)
+	}
+	for i := range req.Data {
+		if got.Data[i] != req.Data[i] {
+			t.Fatalf("payload[%d] = %v, want %v", i, got.Data[i], req.Data[i])
+		}
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	resp := &Response{
+		Status: StatusOverloaded, RetryAfter: 25 * time.Millisecond,
+		Msg: "queue full (256 jobs)",
+	}
+	var buf bytes.Buffer
+	if err := WriteResponse(&buf, resp); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadResponse(&buf, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Status != resp.Status || got.RetryAfter != resp.RetryAfter || got.Msg != resp.Msg {
+		t.Fatalf("round trip: %+v != %+v", got, resp)
+	}
+	var se *ServerError
+	if err := got.Err(); !errors.As(err, &se) || !se.Temporary() {
+		t.Fatalf("expected temporary ServerError, got %v", err)
+	}
+	if wait, ok := IsOverloaded(got.Err()); !ok || wait != 25*time.Millisecond {
+		t.Fatalf("IsOverloaded = %v, %v", wait, ok)
+	}
+}
+
+func TestReadRequestLimits(t *testing.T) {
+	var buf bytes.Buffer
+	req := &Request{Op: OpForward, N: 16, Accuracy: AccuracyNone, Data: make([]complex128, 16)}
+	if err := WriteRequest(&buf, req); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadRequest(&buf, 8); err == nil || !strings.Contains(err.Error(), "exceeds limit") {
+		t.Fatalf("oversize payload: err = %v", err)
+	}
+	// Bad magic.
+	if _, err := ReadRequest(strings.NewReader(strings.Repeat("x", reqHeaderLen)), 8); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}

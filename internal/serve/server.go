@@ -1,0 +1,510 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"soifft"
+)
+
+// Config tunes a Server. The zero value of every field selects a
+// sensible default.
+type Config struct {
+	// Addr is the TCP listen address for ListenAndServe (default
+	// "127.0.0.1:7080").
+	Addr string
+	// CacheCapacity bounds the plan cache (default 32 plans).
+	CacheCapacity int
+	// Workers bounds the goroutines executing transforms (default
+	// GOMAXPROCS).
+	Workers int
+	// MaxBatch caps how many same-plan requests coalesce into one
+	// TransformBatch call (default 8).
+	MaxBatch int
+	// MaxLinger is how long the first request of a batch waits for
+	// company before the batch flushes anyway (default 2ms; 0 flushes
+	// immediately, disabling coalescing).
+	MaxLinger time.Duration
+	// QueueDepth caps requests admitted but not yet executed; beyond it
+	// the server rejects with StatusOverloaded (default 256).
+	QueueDepth int
+	// MaxN rejects requests longer than this many points (default 2^22).
+	MaxN int
+	// RetryAfter is the hint attached to backpressure rejections
+	// (default 2×MaxLinger, at least 10ms).
+	RetryAfter time.Duration
+	// Logf, when set, receives one line per connection-level event.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Addr == "" {
+		c.Addr = "127.0.0.1:7080"
+	}
+	if c.CacheCapacity <= 0 {
+		c.CacheCapacity = 32
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 8
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	if c.MaxN <= 0 {
+		c.MaxN = 1 << 22
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = 2 * c.MaxLinger
+		if c.RetryAfter < 10*time.Millisecond {
+			c.RetryAfter = 10 * time.Millisecond
+		}
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// job is one admitted request travelling through a batch.
+type job struct {
+	src, dst []complex128
+	err      error
+	done     chan struct{}
+	start    time.Time
+}
+
+// batchKey groups jobs that can execute under one plan call.
+type batchKey struct {
+	plan    soifft.PlanKey
+	inverse bool
+}
+
+// batcher accumulates same-plan jobs until MaxBatch or MaxLinger.
+type batcher struct {
+	plan  *soifft.Plan
+	jobs  []*job
+	timer *time.Timer
+}
+
+// batch is one unit of worker-pool work.
+type batch struct {
+	plan    *soifft.Plan
+	inverse bool
+	jobs    []*job
+}
+
+// Server is the FFT service. Create with New, start with ListenAndServe
+// (or Listen + Serve), stop with Shutdown.
+type Server struct {
+	cfg     Config
+	cache   *soifft.PlanCache
+	metrics *Metrics
+
+	work   chan *batch
+	queued atomic.Int64 // jobs admitted but not yet executed
+
+	mu       sync.Mutex
+	ln       net.Listener
+	draining bool
+	batchers map[batchKey]*batcher
+	conns    map[net.Conn]struct{}
+	execHook func() // test seam: runs at the start of every batch
+
+	inflight sync.WaitGroup // accepted requests, until their response is written
+	connWG   sync.WaitGroup
+	workerWG sync.WaitGroup
+}
+
+// New builds a server; it owns a fresh plan cache (reachable via Cache
+// for wisdom warming) and starts its worker pool immediately so warmed
+// plans can serve as soon as a listener is attached.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:      cfg,
+		cache:    soifft.NewPlanCache(cfg.CacheCapacity),
+		metrics:  newMetrics(),
+		work:     make(chan *batch, cfg.QueueDepth),
+		batchers: make(map[batchKey]*batcher),
+		conns:    make(map[net.Conn]struct{}),
+	}
+	s.metrics.queueDepth = s.queued.Load
+	s.metrics.cacheVars = s.cacheVars
+	s.metrics.healthy = func() bool {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return !s.draining
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.workerWG.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Cache exposes the server's plan cache (for wisdom warming at startup).
+func (s *Server) Cache() *soifft.PlanCache { return s.cache }
+
+// Metrics exposes the server's live counters.
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+func (s *Server) cacheVars() map[string]any {
+	st := s.cache.Stats()
+	perPlan := map[string]any{}
+	for _, p := range st.PerPlan {
+		perPlan[p.Key.String()] = p.Hits
+	}
+	return map[string]any{
+		"size":      st.Size,
+		"capacity":  st.Capacity,
+		"hits":      st.Hits,
+		"misses":    st.Misses,
+		"evictions": st.Evictions,
+		"hit_rate":  st.HitRate(),
+		"per_plan":  perPlan,
+	}
+}
+
+// Listen binds the configured address. Call before Serve when the
+// ephemeral port must be known (tests, port-0 configs).
+func (s *Server) Listen() error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	return nil
+}
+
+// Addr returns the bound listen address (nil before Listen).
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// ListenAndServe binds cfg.Addr and runs the accept loop until Shutdown.
+func (s *Server) ListenAndServe() error {
+	if err := s.Listen(); err != nil {
+		return err
+	}
+	return s.Serve()
+}
+
+// Serve runs the accept loop on the listener bound by Listen. It
+// returns nil after Shutdown closes the listener.
+func (s *Server) Serve() error {
+	s.mu.Lock()
+	ln := s.ln
+	s.mu.Unlock()
+	if ln == nil {
+		return errors.New("serve: Serve before Listen")
+	}
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			draining := s.draining
+			s.mu.Unlock()
+			if draining {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.draining {
+			s.mu.Unlock()
+			_ = conn.Close()
+			continue
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.connWG.Add(1)
+		go s.handleConn(conn)
+	}
+}
+
+func (s *Server) handleConn(conn net.Conn) {
+	defer s.connWG.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		_ = conn.Close()
+	}()
+	br := bufio.NewReader(&countingReader{r: conn, n: &s.metrics.bytesIn})
+	cw := &countingWriter{w: conn, n: &s.metrics.bytesOut}
+	bw := bufio.NewWriter(cw)
+	for {
+		req, err := ReadRequest(br, s.cfg.MaxN)
+		if err != nil {
+			// EOF between frames is a client hanging up; anything else
+			// is a framing error worth one reply attempt.
+			if !errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) &&
+				!errors.Is(err, net.ErrClosed) {
+				s.cfg.Logf("serve: %s: read: %v", conn.RemoteAddr(), err)
+				_ = WriteResponse(bw, &Response{Status: StatusBadRequest, Msg: err.Error()})
+				_ = bw.Flush()
+			}
+			return
+		}
+		// Admission: the draining check and the in-flight registration
+		// are atomic with respect to Shutdown, so every accepted
+		// request gets its response written before drain completes.
+		s.mu.Lock()
+		if s.draining {
+			s.mu.Unlock()
+			s.metrics.drained.Add(1)
+			_ = WriteResponse(bw, &Response{
+				Status: StatusDraining, RetryAfter: s.cfg.RetryAfter,
+				Msg: "server is draining",
+			})
+			_ = bw.Flush()
+			return
+		}
+		s.inflight.Add(1)
+		s.mu.Unlock()
+
+		resp := s.process(req)
+		err = WriteResponse(bw, resp)
+		if err == nil {
+			err = bw.Flush()
+		}
+		s.inflight.Done()
+		if err != nil {
+			s.cfg.Logf("serve: %s: write: %v", conn.RemoteAddr(), err)
+			return
+		}
+	}
+}
+
+// process executes one admitted request and builds its response.
+func (s *Server) process(req *Request) *Response {
+	start := time.Now()
+	s.metrics.requests.Add(1)
+	defer func() { s.metrics.observeLatency(time.Since(start)) }()
+
+	switch req.Op {
+	case OpPing:
+		return &Response{Status: StatusOK}
+	case OpForward, OpInverse:
+	default:
+		s.metrics.errors.Add(1)
+		return &Response{Status: StatusBadRequest, Msg: fmt.Sprintf("unknown op %d", req.Op)}
+	}
+	if req.N <= 0 || len(req.Data) != req.N {
+		s.metrics.errors.Add(1)
+		return &Response{Status: StatusBadRequest,
+			Msg: fmt.Sprintf("payload has %d points, header says n=%d", len(req.Data), req.N)}
+	}
+
+	plan, resp := s.resolvePlan(req)
+	if resp != nil {
+		return resp
+	}
+
+	// Backpressure: admit-and-check keeps the depth accounting exact
+	// under concurrent submissions.
+	if q := s.queued.Add(1); q > int64(s.cfg.QueueDepth) {
+		s.queued.Add(-1)
+		s.metrics.rejected.Add(1)
+		return &Response{
+			Status: StatusOverloaded, RetryAfter: s.cfg.RetryAfter,
+			Msg: fmt.Sprintf("queue full (%d jobs)", s.cfg.QueueDepth),
+		}
+	}
+
+	j := &job{
+		src:   req.Data,
+		dst:   make([]complex128, req.N),
+		done:  make(chan struct{}),
+		start: start,
+	}
+	s.enqueue(plan, batchKey{plan: plan.Key(), inverse: req.Op == OpInverse}, j)
+	<-j.done
+	if j.err != nil {
+		s.metrics.errors.Add(1)
+		return &Response{Status: StatusInternal, Msg: j.err.Error()}
+	}
+	return &Response{Status: StatusOK, Data: j.dst}
+}
+
+// resolvePlan maps request parameters to a cached plan, building through
+// the cache on a miss. A nil plan comes with a ready error response.
+func (s *Server) resolvePlan(req *Request) (*soifft.Plan, *Response) {
+	var opts []soifft.Option
+	if req.Segments > 0 {
+		opts = append(opts, soifft.WithSegments(req.Segments))
+	}
+	if req.Mu > 0 && req.Nu > 0 {
+		opts = append(opts, soifft.WithOversampling(req.Mu, req.Nu))
+	}
+	if req.Accuracy >= 0 {
+		opts = append(opts, soifft.WithAccuracy(soifft.Accuracy(req.Accuracy)))
+	} else if req.Taps > 0 {
+		opts = append(opts, soifft.WithTaps(req.Taps))
+	}
+	plan, _, err := s.cache.Get(req.N, opts...)
+	if err != nil {
+		s.metrics.errors.Add(1)
+		return nil, &Response{Status: StatusBadRequest, Msg: err.Error()}
+	}
+	return plan, nil
+}
+
+// enqueue adds a job to the key's batcher, flushing when the batch is
+// full (or immediately while draining or when coalescing is off).
+func (s *Server) enqueue(plan *soifft.Plan, key batchKey, j *job) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b := s.batchers[key]
+	if b == nil {
+		b = &batcher{plan: plan}
+		s.batchers[key] = b
+	}
+	b.jobs = append(b.jobs, j)
+	if len(b.jobs) >= s.cfg.MaxBatch || s.cfg.MaxLinger <= 0 || s.draining {
+		s.flushLocked(key, b)
+		return
+	}
+	if len(b.jobs) == 1 {
+		b.timer = time.AfterFunc(s.cfg.MaxLinger, func() {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			if cur := s.batchers[key]; cur == b && len(b.jobs) > 0 {
+				s.flushLocked(key, b)
+			}
+		})
+	}
+}
+
+// flushLocked hands the batcher's jobs to the worker pool. Callers hold
+// s.mu. The work channel's capacity equals QueueDepth, which bounds
+// total queued jobs (and hence batches), so the send cannot block.
+func (s *Server) flushLocked(key batchKey, b *batcher) {
+	if b.timer != nil {
+		b.timer.Stop()
+		b.timer = nil
+	}
+	jobs := b.jobs
+	b.jobs = nil
+	delete(s.batchers, key)
+	s.work <- &batch{plan: b.plan, inverse: key.inverse, jobs: jobs}
+}
+
+func (s *Server) worker() {
+	defer s.workerWG.Done()
+	for b := range s.work {
+		s.runBatch(b)
+	}
+}
+
+// runBatch executes one batch: forward batches through one contiguous
+// TransformBatch call, inverse batches as a loop under one work unit.
+func (s *Server) runBatch(b *batch) {
+	s.mu.Lock()
+	hook := s.execHook
+	s.mu.Unlock()
+	if hook != nil {
+		hook()
+	}
+	m := len(b.jobs)
+	s.metrics.observeBatch(m)
+	n := b.plan.N()
+	switch {
+	case b.inverse:
+		for _, j := range b.jobs {
+			j.err = b.plan.Inverse(j.dst, j.src)
+		}
+	case m == 1:
+		b.jobs[0].err = b.plan.Transform(b.jobs[0].dst, b.jobs[0].src)
+	default:
+		src := make([]complex128, m*n)
+		dst := make([]complex128, m*n)
+		for i, j := range b.jobs {
+			copy(src[i*n:(i+1)*n], j.src)
+		}
+		err := b.plan.TransformBatch(dst, src, m)
+		for i, j := range b.jobs {
+			if err != nil {
+				j.err = err
+			} else {
+				copy(j.dst, dst[i*n:(i+1)*n])
+			}
+		}
+	}
+	s.queued.Add(int64(-m))
+	for _, j := range b.jobs {
+		close(j.done)
+	}
+}
+
+// Shutdown drains the server: it stops accepting connections, lets every
+// accepted request finish and receive its response, flushes lingering
+// batches immediately, stops the workers and closes idle connections.
+// Requests arriving on open connections after drain begins receive
+// StatusDraining. If ctx expires first, remaining connections are closed
+// and ctx's error returned.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return nil
+	}
+	s.draining = true
+	for key, b := range s.batchers {
+		if len(b.jobs) > 0 {
+			s.flushLocked(key, b)
+		}
+	}
+	ln := s.ln
+	s.mu.Unlock()
+	if ln != nil {
+		_ = ln.Close()
+	}
+
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		// Force path: sever the connections but leave the worker pool
+		// running — handlers may still be enqueueing, and closing the
+		// work channel under them would panic. Workers idle harmlessly
+		// until process exit.
+		s.closeConns()
+		return ctx.Err()
+	}
+	close(s.work)
+	s.workerWG.Wait()
+	s.closeConns()
+	s.connWG.Wait()
+	return nil
+}
+
+func (s *Server) closeConns() {
+	s.mu.Lock()
+	for c := range s.conns {
+		_ = c.Close()
+	}
+	s.mu.Unlock()
+}
