@@ -46,11 +46,13 @@ func (o *Options) fill(req *serve.Request) {
 // its requests (the protocol is strict request/response); open several
 // clients for in-flight parallelism. Safe for concurrent use.
 type Client struct {
-	mu   sync.Mutex
-	conn net.Conn
-	br   *bufio.Reader
-	bw   *bufio.Writer
-	maxN int
+	mu      sync.Mutex
+	conn    net.Conn
+	br      *bufio.Reader
+	bw      *bufio.Writer
+	maxN    int
+	timeout time.Duration
+	broken  error // first transport-level failure; connection is unusable after
 }
 
 // MaxN is the largest response payload a client will accept.
@@ -67,12 +69,42 @@ func DialTimeout(addr string, timeout time.Duration) (*Client, error) {
 	if err != nil {
 		return nil, fmt.Errorf("client: dialing %s: %w", addr, err)
 	}
+	return newClient(conn), nil
+}
+
+// DialContext connects under the context's cancellation and deadline, so
+// a caller's ctx bounds connection establishment the same way
+// SetRequestTimeout bounds each request.
+func DialContext(ctx context.Context, addr string) (*Client, error) {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("client: dialing %s: %w", addr, err)
+	}
+	return newClient(conn), nil
+}
+
+func newClient(conn net.Conn) *Client {
 	return &Client{
 		conn: conn,
 		br:   bufio.NewReader(conn),
 		bw:   bufio.NewWriter(conn),
 		maxN: MaxN,
-	}, nil
+	}
+}
+
+// SetRequestTimeout bounds every subsequent request's full round trip
+// (write, server time, read). A request that overruns fails with a
+// deadline error and marks the connection broken — the protocol is
+// strict request/response, so a late reply would desynchronize the
+// stream; redial to continue. d <= 0 removes the bound.
+func (c *Client) SetRequestTimeout(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if d < 0 {
+		d = 0
+	}
+	c.timeout = d
 }
 
 // Close tears down the connection.
@@ -108,20 +140,38 @@ func (c *Client) transform(op serve.Op, data []complex128, opt *Options) ([]comp
 func (c *Client) do(req *serve.Request) ([]complex128, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.broken != nil {
+		return nil, fmt.Errorf("client: connection broken by earlier failure, redial: %w", c.broken)
+	}
+	if c.timeout > 0 {
+		_ = c.conn.SetDeadline(time.Now().Add(c.timeout))
+		defer c.conn.SetDeadline(time.Time{})
+	}
 	if err := serve.WriteRequest(c.bw, req); err != nil {
-		return nil, fmt.Errorf("client: send: %w", err)
+		return nil, c.fail(fmt.Errorf("client: send: %w", err))
 	}
 	if err := c.bw.Flush(); err != nil {
-		return nil, fmt.Errorf("client: send: %w", err)
+		return nil, c.fail(fmt.Errorf("client: send: %w", err))
 	}
 	resp, err := serve.ReadResponse(c.br, c.maxN)
 	if err != nil {
-		return nil, fmt.Errorf("client: recv: %w", err)
+		return nil, c.fail(fmt.Errorf("client: recv: %w", err))
 	}
 	if err := resp.Err(); err != nil {
 		return nil, err
 	}
 	return resp.Data, nil
+}
+
+// fail latches the first transport-level error: after a failed write,
+// a truncated read, or an expired request deadline the framing is no
+// longer trustworthy, so later requests fail fast instead of reading a
+// stale or half-delivered response.
+func (c *Client) fail(err error) error {
+	if c.broken == nil {
+		c.broken = err
+	}
+	return err
 }
 
 // IsOverloaded reports whether err is a backpressure rejection and

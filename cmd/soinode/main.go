@@ -8,17 +8,28 @@
 // Every rank generates the same deterministic input from -seed and works
 // on its block; rank 0 gathers the distributed spectrum and reports the
 // accuracy against a locally computed conventional FFT.
+//
+// The transport fails typed and bounded rather than hanging: -io-timeout
+// arms a per-operation deadline (heartbeats keep healthy idle links
+// alive), and any wire fault — peer death, corrupted frame, expired
+// deadline — exits non-zero naming the failed peer and operation.
+// -fault-plan injects deterministic faults (internal/faultnet) into this
+// rank's links for live chaos drills, e.g.
+//
+//	soinode ... -io-timeout 5s -fault-plan seed=42,corrupt=0.001,latency=1ms
 package main
 
 import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"strings"
 	"time"
 
 	"soifft/internal/core"
+	"soifft/internal/faultnet"
 	"soifft/internal/fft"
 	"soifft/internal/mpinet"
 	"soifft/internal/signal"
@@ -35,6 +46,10 @@ func main() {
 	seed := flag.Int64("seed", 1, "shared input seed")
 	connectTimeout := flag.Duration("connect-timeout", mpinet.DefaultConnectTimeout,
 		"how long to wait for all peers before giving up")
+	ioTimeout := flag.Duration("io-timeout", 30*time.Second,
+		"per-operation I/O deadline on peer links; a peer that stalls longer is declared dead with a typed error (0 = wait forever)")
+	faultPlan := flag.String("fault-plan", "",
+		"faultnet chaos plan injected into this rank's links, e.g. seed=42,corrupt=0.001,latency=1ms (see internal/faultnet)")
 	flag.Parse()
 
 	addrs := strings.Split(*peers, ",")
@@ -43,6 +58,17 @@ func main() {
 		fail(err)
 	}
 	node.SetConnectTimeout(*connectTimeout)
+	if *faultPlan != "" {
+		plan, err := faultnet.ParsePlan(*faultPlan)
+		if err != nil {
+			fail(err)
+		}
+		self := *rank
+		node.SetConnWrapper(func(peerRank int, c net.Conn) net.Conn {
+			return plan.Conn(c, faultnet.LinkID(self, peerRank))
+		})
+		fmt.Printf("rank %d: chaos drill armed: %s\n", *rank, plan)
+	}
 	fmt.Printf("rank %d/%d listening on %s\n", *rank, *size, node.Addr())
 	proc, err := node.Connect(addrs)
 	if err != nil {
@@ -54,6 +80,7 @@ func main() {
 		fail(err)
 	}
 	defer proc.Close()
+	proc.SetIOTimeout(*ioTimeout)
 
 	plan, err := core.NewPlan(core.Params{
 		N: *n, P: *segments, Mu: 5, Nu: 4, B: *taps,
@@ -68,7 +95,9 @@ func main() {
 	src := signal.Random(*n, *seed)
 	nLocal := *n / *size
 	out := make([]complex128, nLocal)
-	proc.Barrier()
+	if err := core.GuardComm(proc.Barrier); err != nil {
+		fail(err)
+	}
 	t0 := time.Now()
 	dt, err := plan.RunDistributed(proc, out, src[*rank*nLocal:(*rank+1)*nLocal])
 	if err != nil {
@@ -77,7 +106,10 @@ func main() {
 	fmt.Printf("rank %d: transform in %v (halo %v, conv %v, exchange %v, segments %v)\n",
 		*rank, time.Since(t0), dt.Halo, dt.Convolve, dt.Exchange, dt.SegmentFT)
 
-	full := proc.Gather(0, out)
+	var full []complex128
+	if err := core.GuardComm(func() { full = proc.Gather(0, out) }); err != nil {
+		fail(err)
+	}
 	if *rank == 0 {
 		ref, err := fft.Forward(src)
 		if err != nil {
@@ -86,10 +118,21 @@ func main() {
 		fmt.Printf("rank 0: gathered %d points; rel err vs conventional FFT %.3e (SNR %.0f dB)\n",
 			len(full), signal.RelErrL2(full, ref), signal.SNRdB(full, ref))
 	}
-	proc.Barrier()
+	if err := core.GuardComm(proc.Barrier); err != nil {
+		fail(err)
+	}
 }
 
+// fail exits non-zero; a typed transport fault names the failed peer and
+// operation on its own line so operators can see at a glance which rank
+// to investigate.
 func fail(err error) {
+	var te *mpinet.TransportError
+	if errors.As(err, &te) {
+		fmt.Fprintf(os.Stderr, "soinode: transport failure: peer rank %d, op %s: %v\n",
+			te.Rank, te.Op, te.Err)
+		os.Exit(1)
+	}
 	fmt.Fprintln(os.Stderr, "soinode:", err)
 	os.Exit(1)
 }

@@ -65,12 +65,14 @@ func runServe(args []string) {
 	queue := fs.Int("queue", 256, "max queued requests before backpressure rejection")
 	maxN := fs.Int("max-n", 1<<22, "largest accepted transform length")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "graceful drain budget on SIGTERM")
+	idleTimeout := fs.Duration("idle-timeout", 5*time.Minute, "disconnect clients idle longer than this (0 = never)")
+	writeTimeout := fs.Duration("write-timeout", 30*time.Second, "disconnect clients that stall reading a response (0 = never)")
 	_ = fs.Parse(args)
 
 	s := serve.New(serve.Config{
 		Addr: *addr, CacheCapacity: *cache, Workers: *workers,
 		MaxBatch: *maxBatch, MaxLinger: *linger, QueueDepth: *queue,
-		MaxN: *maxN,
+		MaxN: *maxN, IdleTimeout: *idleTimeout, WriteTimeout: *writeTimeout,
 		Logf: func(format string, a ...any) { fmt.Fprintf(os.Stderr, format+"\n", a...) },
 	})
 
@@ -140,13 +142,17 @@ func runQuery(args []string) {
 	count := fs.Int("count", 1, "number of requests to send")
 	sigName := fs.String("signal", "random", "generated input: random|tones|chirp")
 	check := fs.Bool("check", false, "verify answers against a locally computed FFT")
+	timeout := fs.Duration("timeout", time.Minute, "per-request deadline; a stalled server fails the request instead of hanging the caller (0 = wait forever)")
 	_ = fs.Parse(args)
 
-	c, err := client.Dial(*addr)
+	dialCtx, dialCancel := context.WithTimeout(context.Background(), 10*time.Second)
+	c, err := client.DialContext(dialCtx, *addr)
+	dialCancel()
 	if err != nil {
 		fail(err)
 	}
 	defer c.Close()
+	c.SetRequestTimeout(*timeout)
 
 	opt := &client.Options{Segments: *segments, Taps: *taps}
 	if *accuracy >= 0 {

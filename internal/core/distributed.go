@@ -24,6 +24,44 @@ type Comm interface {
 	Gather(root int, chunk []complex128) []complex128
 }
 
+// Fault is the marker interface for typed communication failures. A
+// Comm implementation raises one as a panic when the transport itself
+// breaks mid-collective (peer death, corrupted frame, expired I/O
+// deadline); *mpinet.TransportError and *mpi.AbortError implement it.
+// The distributed drivers recover Faults (and only Faults) into ordinary
+// error returns, so a wire failure surfaces as a typed error from
+// RunDistributed instead of a panic or a hang.
+type Fault interface {
+	error
+	CommFault()
+}
+
+// RecoverFault converts an in-flight Fault panic into *err. Defer it (or
+// use GuardComm) around any code that calls Comm methods directly.
+// Non-fault panics — programming errors — propagate unchanged.
+func RecoverFault(err *error) {
+	r := recover()
+	if r == nil {
+		return
+	}
+	if f, ok := r.(Fault); ok {
+		if *err == nil {
+			*err = f
+		}
+		return
+	}
+	panic(r)
+}
+
+// GuardComm runs fn and returns the typed communication Fault it raised,
+// if any — the bridge for callers driving a Comm outside the Run*
+// helpers (e.g. a bare Gather or Barrier in cmd/soinode).
+func GuardComm(fn func()) (err error) {
+	defer RecoverFault(&err)
+	fn()
+	return nil
+}
+
 // DistributedTimes records the per-phase wall time of one rank's
 // distributed transform; the single Exchange entry is the headline
 // communication step the paper optimizes.
@@ -65,8 +103,8 @@ func (pl *Plan) ValidateDistributed(r int) error {
 // neighbour halo of (B−1)·P points plus a single all-to-all of
 // (1+β)·N/R points — versus three all-to-alls of N/R points for the
 // standard algorithms in internal/baseline.
-func (pl *Plan) RunDistributed(c Comm, localOut, localIn []complex128) (DistributedTimes, error) {
-	var dt DistributedTimes
+func (pl *Plan) RunDistributed(c Comm, localOut, localIn []complex128) (dt DistributedTimes, err error) {
+	defer RecoverFault(&err)
 	r := c.Size()
 	if err := pl.ValidateDistributed(r); err != nil {
 		return dt, err

@@ -66,7 +66,8 @@ func (pl *Plan) TransformSegment(dst, src []complex128, s int) error {
 // points per rank plus the usual halo — far below even the SOI
 // transform's all-to-all. Returns the segment (length M) on root, nil on
 // other ranks.
-func (pl *Plan) RunDistributedSegment(c Comm, localIn []complex128, s, root int) ([]complex128, error) {
+func (pl *Plan) RunDistributedSegment(c Comm, localIn []complex128, s, root int) (out []complex128, err error) {
+	defer RecoverFault(&err)
 	p := pl.prm
 	r := c.Size()
 	if err := pl.ValidateDistributed(r); err != nil {
@@ -132,7 +133,7 @@ func (pl *Plan) RunDistributedSegment(c Comm, localIn []complex128, s, root int)
 	}
 	yt := make([]complex128, pl.mp)
 	pl.SegmentFFT(yt, xt)
-	out := make([]complex128, pl.m)
+	out = make([]complex128, pl.m)
 	pl.Demodulate(out, yt)
 	return out, nil
 }

@@ -1,0 +1,213 @@
+package faultnet
+
+import (
+	"bytes"
+	"errors"
+	"net"
+	"os"
+	"sync"
+	"testing"
+	"time"
+)
+
+// sink is an in-memory net.Conn write target.
+type sink struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (s *sink) Write(b []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.buf.Write(b)
+}
+
+func (s *sink) bytes() []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]byte(nil), s.buf.Bytes()...)
+}
+
+func (s *sink) Read([]byte) (int, error)         { return 0, nil }
+func (s *sink) Close() error                     { return nil }
+func (s *sink) LocalAddr() net.Addr              { return nil }
+func (s *sink) RemoteAddr() net.Addr             { return nil }
+func (s *sink) SetDeadline(time.Time) error      { return nil }
+func (s *sink) SetReadDeadline(time.Time) error  { return nil }
+func (s *sink) SetWriteDeadline(time.Time) error { return nil }
+
+func TestParsePlanRoundTrip(t *testing.T) {
+	in := "after=3,bw=1e+06,corrupt=0.01,drop=0.1,hang=0.02,jitter=1ms,latency=2ms,partial=0.05,reset=0.03,seed=42"
+	p, err := ParsePlan(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Seed != 42 || p.After != 3 || p.Latency != 2*time.Millisecond ||
+		p.Jitter != time.Millisecond || p.BandwidthBps != 1e6 ||
+		p.DropProb != 0.1 || p.CorruptProb != 0.01 || p.ResetProb != 0.03 ||
+		p.HangProb != 0.02 || p.PartialProb != 0.05 {
+		t.Fatalf("parsed %+v", p)
+	}
+	if got := p.String(); got != in {
+		t.Errorf("String() = %q, want %q", got, in)
+	}
+	if back, err := ParsePlan(p.String()); err != nil || back != p {
+		t.Errorf("round trip %+v err %v", back, err)
+	}
+}
+
+func TestParsePlanErrors(t *testing.T) {
+	for _, bad := range []string{"nonsense", "frobnicate=1", "drop=1.5", "latency=fast", "seed="} {
+		if _, err := ParsePlan(bad); err == nil {
+			t.Errorf("ParsePlan(%q) accepted", bad)
+		}
+	}
+	if p, err := ParsePlan(""); err != nil || p.Enabled() {
+		t.Errorf("empty plan: %+v, %v", p, err)
+	}
+}
+
+// TestDeterministic checks the same (seed, id) replays the same byte
+// stream, and a different id diverges.
+func TestDeterministic(t *testing.T) {
+	plan := Plan{Seed: 7, CorruptProb: 0.5, DropProb: 0.2}
+	run := func(id int64) []byte {
+		s := &sink{}
+		c := plan.Conn(s, id)
+		msg := make([]byte, 64)
+		for i := 0; i < 32; i++ {
+			msg[0] = byte(i)
+			if _, err := c.Write(msg); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return s.bytes()
+	}
+	a, b := run(1), run(1)
+	if !bytes.Equal(a, b) {
+		t.Error("same link id produced different fault streams")
+	}
+	if bytes.Equal(a, run(2)) {
+		t.Error("different link ids produced identical fault streams")
+	}
+}
+
+func TestCorruptFlipsExactlyOneBit(t *testing.T) {
+	plan := Plan{Seed: 3, CorruptProb: 1}
+	s := &sink{}
+	c := plan.Conn(s, 0)
+	msg := bytes.Repeat([]byte{0xAA}, 128)
+	if _, err := c.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	got := s.bytes()
+	if len(got) != len(msg) {
+		t.Fatalf("wrote %d bytes, want %d", len(got), len(msg))
+	}
+	diff := 0
+	for i := range got {
+		for b := 0; b < 8; b++ {
+			if (got[i]^msg[i])>>b&1 == 1 {
+				diff++
+			}
+		}
+	}
+	if diff != 1 {
+		t.Errorf("%d bits differ, want exactly 1", diff)
+	}
+	// The caller's buffer must not be touched.
+	if !bytes.Equal(msg, bytes.Repeat([]byte{0xAA}, 128)) {
+		t.Error("corruption mutated the caller's buffer")
+	}
+}
+
+func TestDropIsSilent(t *testing.T) {
+	plan := Plan{Seed: 1, DropProb: 1}
+	s := &sink{}
+	c := plan.Conn(s, 0)
+	n, err := c.Write(make([]byte, 100))
+	if n != 100 || err != nil {
+		t.Fatalf("drop write: n=%d err=%v", n, err)
+	}
+	if len(s.bytes()) != 0 {
+		t.Errorf("dropped write reached the wire: %d bytes", len(s.bytes()))
+	}
+}
+
+func TestThrottleDelaysWrites(t *testing.T) {
+	plan := Plan{Seed: 1, BandwidthBps: 1 << 20} // 1 MiB/s
+	s := &sink{}
+	c := plan.Conn(s, 0)
+	start := time.Now()
+	if _, err := c.Write(make([]byte, 64<<10)); err != nil { // 64 KiB → ≥ 62ms
+		t.Fatal(err)
+	}
+	if el := time.Since(start); el < 40*time.Millisecond {
+		t.Errorf("throttled 64KiB write took only %v", el)
+	}
+}
+
+func TestHangHonorsWriteDeadline(t *testing.T) {
+	plan := Plan{Seed: 1, HangProb: 1}
+	c := plan.Conn(&sink{}, 0)
+	if err := c.SetWriteDeadline(time.Now().Add(50 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	_, err := c.Write(make([]byte, 8))
+	if !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("hung write returned %v, want deadline exceeded", err)
+	}
+	if el := time.Since(start); el > 2*time.Second {
+		t.Errorf("hang outlived its deadline by %v", el)
+	}
+}
+
+func TestHangUnblocksOnClose(t *testing.T) {
+	plan := Plan{Seed: 1, HangProb: 1}
+	c := plan.Conn(&sink{}, 0)
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Write(make([]byte, 8))
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	_ = c.Close()
+	select {
+	case err := <-done:
+		if !errors.Is(err, net.ErrClosed) {
+			t.Errorf("hung write returned %v, want net.ErrClosed", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("hung write did not unblock on Close")
+	}
+}
+
+func TestResetReportsInjectedReset(t *testing.T) {
+	plan := Plan{Seed: 1, ResetProb: 1}
+	c := plan.Conn(&sink{}, 0)
+	if _, err := c.Write(make([]byte, 8)); !errors.Is(err, ErrInjectedReset) {
+		t.Fatalf("reset write returned %v", err)
+	}
+}
+
+func TestAfterArmsLate(t *testing.T) {
+	plan := Plan{Seed: 1, DropProb: 1, After: 2}
+	s := &sink{}
+	c := plan.Conn(s, 0)
+	for i := 0; i < 3; i++ {
+		if _, err := c.Write([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.bytes(); !bytes.Equal(got, []byte{0, 1}) {
+		t.Errorf("wire saw %v, want the two pre-arm writes only", got)
+	}
+}
+
+func TestDisabledPlanPassesThrough(t *testing.T) {
+	s := &sink{}
+	if c := (Plan{Seed: 9}).Conn(s, 0); c != net.Conn(s) {
+		t.Error("disabled plan wrapped the conn")
+	}
+}

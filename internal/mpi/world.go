@@ -38,6 +38,11 @@ func (e *AbortError) Error() string {
 	return fmt.Sprintf("mpi: rank %d aborted: another rank failed", e.Rank)
 }
 
+// CommFault marks aborts as typed communication faults, so
+// core.RecoverFault converts a mid-collective abort into an error return
+// instead of letting the panic unwind the rank.
+func (e *AbortError) CommFault() {}
+
 // Stats aggregates communication volume over a world's lifetime.
 // Collective byte counts include every payload byte moved between
 // distinct ranks (self-copies are excluded, matching what a fabric would

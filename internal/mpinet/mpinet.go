@@ -4,6 +4,18 @@
 // rank r dials every lower rank and accepts from every higher one — and
 // exchange length-prefixed frames of complex128 data.
 //
+// The wire layer is hardened for real fabrics: every frame carries a
+// magic word and a CRC32C checksum covering header and payload, frame
+// lengths are bounded by MaxFrameElems before any allocation, and an
+// optional per-operation I/O deadline (SetIOTimeout) bounds every send,
+// receive, and idle wait. With a deadline set, each link emits heartbeat
+// frames while idle, so a silently hung peer is detected within one
+// deadline instead of never. Every wire anomaly — checksum mismatch,
+// oversized or malformed frame, reset, timeout, peer death — surfaces as
+// a typed *TransportError naming the peer rank and the operation; the
+// collectives raise it as a panic that core.RunDistributed (via
+// core.RecoverFault) converts back into an ordinary error return.
+//
 // It exists to show the algorithm end-to-end outside a single address
 // space (cmd/soinode runs one rank per OS process); the in-process
 // runtime remains the tool for experiments because it can count traffic
@@ -12,11 +24,15 @@ package mpinet
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"math"
 	"net"
+	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -26,11 +42,37 @@ type Node struct {
 	ln             net.Listener
 	connectTimeout time.Duration
 	dialInterval   time.Duration
+	wrap           func(peerRank int, c net.Conn) net.Conn
 }
 
 // DefaultConnectTimeout is how long Connect waits for the full mesh
 // (every dial and accept) before giving up.
 const DefaultConnectTimeout = 15 * time.Second
+
+// MaxFrameElems caps the complex128 element count a frame header may
+// claim (1<<26 elements = 1 GiB of payload). It bounds the allocation a
+// corrupted or hostile length field can trigger; larger counts kill the
+// link with ErrFrameTooLarge instead of attempting the allocation.
+var MaxFrameElems = 1 << 26
+
+// Typed causes chained inside *TransportError, matchable with errors.Is.
+var (
+	// ErrPeerClosed means the peer hung up (EOF/reset) or this side shut
+	// the link down.
+	ErrPeerClosed = errors.New("connection closed by peer")
+	// ErrDeadline means an operation exceeded the SetIOTimeout budget —
+	// a hung or unreachable peer, or a link too slow for the deadline.
+	ErrDeadline = errors.New("i/o deadline exceeded")
+	// ErrChecksum means a frame arrived with a CRC32C mismatch: payload
+	// bits were corrupted in flight.
+	ErrChecksum = errors.New("frame checksum mismatch (payload corrupted in flight)")
+	// ErrBadFrame means a frame header failed validation (bad magic):
+	// corruption or a desynchronized stream.
+	ErrBadFrame = errors.New("malformed frame header (corrupted or desynchronized stream)")
+	// ErrFrameTooLarge means a frame header claimed more than
+	// MaxFrameElems elements.
+	ErrFrameTooLarge = errors.New("frame length exceeds MaxFrameElems")
+)
 
 // PeerError reports a peer that could not be reached while forming the
 // mesh; it names the peer's rank and address and wraps the underlying
@@ -46,6 +88,37 @@ func (e *PeerError) Error() string {
 }
 
 func (e *PeerError) Unwrap() error { return e.Err }
+
+// TransportError is the typed failure of an established link: the peer
+// rank involved, the operation that observed the fault ("send", "recv",
+// "alltoallv", ...), and the wire-level cause (one of the Err* sentinels
+// or an OS error). Collectives raise it as a panic; core.RecoverFault
+// (deferred inside core.RunDistributed and friends, or via
+// core.GuardComm) converts it into an ordinary error return.
+type TransportError struct {
+	Rank int    // peer rank on the failed link
+	Op   string // operation that observed the fault
+	Err  error  // wire-level cause
+}
+
+func (e *TransportError) Error() string {
+	return fmt.Sprintf("mpinet: %s involving rank %d failed: %v", e.Op, e.Rank, e.Err)
+}
+
+func (e *TransportError) Unwrap() error { return e.Err }
+
+// CommFault marks the error as a typed communication fault for
+// core.RecoverFault.
+func (e *TransportError) CommFault() {}
+
+// Timeout reports whether the fault was a deadline expiry.
+func (e *TransportError) Timeout() bool {
+	if errors.Is(e.Err, ErrDeadline) || errors.Is(e.Err, os.ErrDeadlineExceeded) {
+		return true
+	}
+	var ne net.Error
+	return errors.As(e.Err, &ne) && ne.Timeout()
+}
 
 // NewNode starts rank's listener on listenAddr (use "127.0.0.1:0" to let
 // the OS choose a port; Addr reports the result).
@@ -72,6 +145,15 @@ func (n *Node) SetConnectTimeout(d time.Duration) {
 		d = DefaultConnectTimeout
 	}
 	n.connectTimeout = d
+}
+
+// SetConnWrapper installs f over every peer link, applied right after
+// the hello exchange — the hook internal/faultnet uses to inject faults
+// into live meshes (`soinode -fault-plan`) and chaos tests. f receives
+// the peer's rank so each link can draw its own deterministic fault
+// stream. Call before Connect.
+func (n *Node) SetConnWrapper(f func(peerRank int, c net.Conn) net.Conn) {
+	n.wrap = f
 }
 
 // Addr returns the listener's address for sharing with peers.
@@ -101,7 +183,10 @@ func (n *Node) Connect(addrs []string) (*Proc, error) {
 		if _, err := conn.Write(hello[:]); err != nil {
 			return nil, &PeerError{Rank: r, Addr: addrs[r], Err: fmt.Errorf("hello: %w", err)}
 		}
-		p.peers[r] = newPeer(conn)
+		if n.wrap != nil {
+			conn = n.wrap(r, conn)
+		}
+		p.peers[r] = newPeer(conn, r, &p.ioTimeoutNs)
 	}
 	// Accept higher ranks, bounded by the same deadline.
 	if tl, ok := n.ln.(*net.TCPListener); ok {
@@ -122,14 +207,16 @@ func (n *Node) Connect(addrs []string) (*Proc, error) {
 		if r <= n.rank || r >= n.size || p.peers[r] != nil {
 			return nil, fmt.Errorf("mpinet: unexpected hello from rank %d", r)
 		}
-		p.peers[r] = newPeer(conn)
+		if n.wrap != nil {
+			conn = n.wrap(r, conn)
+		}
+		p.peers[r] = newPeer(conn, r, &p.ioTimeoutNs)
 	}
 	_ = n.ln.Close()
-	for r, pe := range p.peers {
+	for _, pe := range p.peers {
 		if pe != nil {
 			go pe.readLoop()
 			go pe.writeLoop()
-			_ = r
 		}
 	}
 	return p, nil
@@ -165,8 +252,9 @@ func dialRetry(addr string, deadline time.Time, interval time.Duration) (net.Con
 
 // Proc is a connected rank; it satisfies core.Comm.
 type Proc struct {
-	rank, size int
-	peers      []*peer
+	rank, size  int
+	peers       []*peer
+	ioTimeoutNs atomic.Int64
 }
 
 // Rank returns this process's rank.
@@ -174,6 +262,25 @@ func (p *Proc) Rank() int { return p.rank }
 
 // Size returns the world size.
 func (p *Proc) Size() int { return p.size }
+
+// SetIOTimeout installs the per-operation I/O deadline: the longest any
+// single send, receive, or idle wait may take before the link is
+// declared dead with a typed ErrDeadline fault. While a deadline is set,
+// idle links carry heartbeat frames (every d/3), so a healthy-but-quiet
+// peer is never misdeclared, and a hung one is caught within ~d.
+// d <= 0 disables deadlines (the pre-hardening blocking behavior).
+// Call right after Connect, before the first collective.
+func (p *Proc) SetIOTimeout(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	p.ioTimeoutNs.Store(int64(d))
+}
+
+// IOTimeout returns the current per-operation deadline (0 = none).
+func (p *Proc) IOTimeout() time.Duration {
+	return time.Duration(p.ioTimeoutNs.Load())
+}
 
 // Close tears down all links.
 func (p *Proc) Close() {
@@ -186,6 +293,9 @@ func (p *Proc) Close() {
 
 // Send transmits a []complex128 payload (the only type the SOI driver
 // moves) to rank `to`. Asynchronous: the frame is queued for the writer.
+// If the link to `to` has already failed, Send raises the peer's typed
+// *TransportError instead of queueing into the void (or blocking forever
+// on a full queue — the fail-fast path for dead peers).
 func (p *Proc) Send(to, tag int, data any) {
 	buf, ok := data.([]complex128)
 	if !ok {
@@ -194,20 +304,25 @@ func (p *Proc) Send(to, tag int, data any) {
 	if to < 0 || to >= p.size || to == p.rank {
 		panic(fmt.Sprintf("mpinet: send to invalid rank %d", to))
 	}
-	p.peers[to].send(encodeFrame(tag, buf))
+	if err := p.peers[to].send(encodeFrame(tag, buf)); err != nil {
+		panic(&TransportError{Rank: to, Op: "send", Err: err})
+	}
 }
 
 // RecvC blocks for the next frame from rank `from` and checks its tag.
+// A dead link, a corrupted frame, or an expired I/O deadline raises a
+// typed *TransportError naming `from`.
 func (p *Proc) RecvC(from, tag int) []complex128 {
 	if from < 0 || from >= p.size || from == p.rank {
 		panic(fmt.Sprintf("mpinet: recv from invalid rank %d", from))
 	}
-	pkt, ok := p.peers[from].box.get()
-	if !ok {
-		panic(fmt.Sprintf("mpinet: rank %d: connection to %d closed", p.rank, from))
+	pkt, err := p.peers[from].box.get(p.IOTimeout())
+	if err != nil {
+		panic(&TransportError{Rank: from, Op: "recv", Err: err})
 	}
 	if pkt.tag != tag {
-		panic(fmt.Sprintf("mpinet: tag mismatch from rank %d: want %d got %d", from, tag, pkt.tag))
+		panic(&TransportError{Rank: from, Op: "recv",
+			Err: fmt.Errorf("tag mismatch: want %d got %d", tag, pkt.tag)})
 	}
 	return pkt.data
 }
@@ -243,7 +358,8 @@ func (p *Proc) PairwiseAlltoallv(send []complex128, sendCounts, recvCounts []int
 		}
 		data := p.RecvC(r, tag)
 		if len(data) != recvCounts[r] {
-			panic(fmt.Sprintf("mpinet: expected %d from rank %d, got %d", recvCounts[r], r, len(data)))
+			panic(&TransportError{Rank: r, Op: "alltoallv",
+				Err: fmt.Errorf("expected %d elements, got %d", recvCounts[r], len(data))})
 		}
 		copy(out[roffs[r]:roffs[r+1]], data)
 	}
@@ -295,53 +411,243 @@ func prefix(counts []int) []int {
 
 // --- wire details ---
 
+// Frame layout: [tag int64][count uint64][crc32c uint32][magic uint32]
+// followed by count little-endian complex128 values. The CRC covers the
+// first 16 header bytes plus the payload; the trailing magic word lets
+// the reader distinguish a desynchronized stream from a checksum-only
+// corruption.
+const (
+	frameHdrLen = 24
+	frameMagic  = 0x31494F53 // "SOI1" little-endian
+
+	// tagHeartbeat marks the empty keep-alive frames idle links carry
+	// while an I/O deadline is armed; readers drop them silently.
+	tagHeartbeat = -1 << 62
+
+	// ioChunk is the unit of deadline refresh: large frames move in
+	// chunks this big, each under a fresh deadline, so a slow-but-live
+	// link is judged on progress while a stalled one still dies within
+	// one deadline.
+	ioChunk = 256 << 10
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// heartbeatFrame is the one (empty) frame every idle link repeats.
+var heartbeatFrame = encodeFrame(tagHeartbeat, nil)
+
+// encodeFrame lays out the header and payload and stamps the checksum.
+func encodeFrame(tag int, data []complex128) []byte {
+	buf := make([]byte, frameHdrLen+16*len(data))
+	binary.LittleEndian.PutUint64(buf[:8], uint64(int64(tag)))
+	binary.LittleEndian.PutUint64(buf[8:16], uint64(len(data)))
+	binary.LittleEndian.PutUint32(buf[20:24], frameMagic)
+	for i, v := range data {
+		binary.LittleEndian.PutUint64(buf[frameHdrLen+i*16:], math.Float64bits(real(v)))
+		binary.LittleEndian.PutUint64(buf[frameHdrLen+i*16+8:], math.Float64bits(imag(v)))
+	}
+	crc := crc32.Checksum(buf[:16], castagnoli)
+	crc = crc32.Update(crc, castagnoli, buf[frameHdrLen:])
+	binary.LittleEndian.PutUint32(buf[16:20], crc)
+	return buf
+}
+
 type packet struct {
 	tag  int
 	data []complex128
 }
 
 type peer struct {
-	conn    net.Conn
-	out     chan []byte
-	box     *netMailbox
-	once    sync.Once
-	drained chan struct{} // closed when writeLoop has flushed everything
+	rank      int
+	conn      net.Conn
+	out       chan []byte
+	box       *netMailbox
+	timeoutNs *atomic.Int64
+
+	closeOnce sync.Once
+	drained   chan struct{} // closed when writeLoop has exited
+
+	failOnce sync.Once
+	failErr  error         // cause; written before dead closes
+	dead     chan struct{} // closed once the link has failed
 }
 
-func newPeer(conn net.Conn) *peer {
+func newPeer(conn net.Conn, rank int, timeoutNs *atomic.Int64) *peer {
 	return &peer{
-		conn:    conn,
-		out:     make(chan []byte, 4096),
-		box:     newNetMailbox(),
-		drained: make(chan struct{}),
+		rank:      rank,
+		conn:      conn,
+		out:       make(chan []byte, 4096),
+		box:       newNetMailbox(),
+		timeoutNs: timeoutNs,
+		drained:   make(chan struct{}),
+		dead:      make(chan struct{}),
 	}
 }
 
-func (pe *peer) send(frame []byte) { pe.out <- frame }
+func (pe *peer) timeout() time.Duration {
+	return time.Duration(pe.timeoutNs.Load())
+}
 
+// fail marks the link dead exactly once: it records the cause, wakes
+// blocked senders and receivers, and closes the socket so both loops
+// unwind promptly and consistently.
+func (pe *peer) fail(cause error) {
+	pe.failOnce.Do(func() {
+		pe.failErr = cause
+		close(pe.dead)
+		pe.box.kill(cause)
+		_ = pe.conn.Close()
+	})
+}
+
+// failure returns the recorded cause; only valid after dead is closed.
+func (pe *peer) failure() error {
+	<-pe.dead
+	return pe.failErr
+}
+
+// send queues a frame for the writer, failing fast if the link is dead
+// (a failed writeLoop no longer drains out at full rate, so blocking on
+// a dead peer's queue would hang forever once 4096 frames pile up).
+func (pe *peer) send(frame []byte) error {
+	select {
+	case <-pe.dead:
+		return pe.failure()
+	default:
+	}
+	select {
+	case pe.out <- frame:
+		return nil
+	case <-pe.dead:
+		return pe.failure()
+	}
+}
+
+// classify folds OS-level errors into the package's typed causes.
+func classify(err error, d time.Duration) error {
+	switch {
+	case errors.Is(err, os.ErrDeadlineExceeded):
+		return fmt.Errorf("%w after %v (peer hung, dead, or too slow)", ErrDeadline, d)
+	case errors.Is(err, io.EOF), errors.Is(err, io.ErrUnexpectedEOF),
+		errors.Is(err, net.ErrClosed):
+		return fmt.Errorf("%w: %v", ErrPeerClosed, err)
+	default:
+		var ne net.Error
+		if errors.As(err, &ne) && ne.Timeout() {
+			return fmt.Errorf("%w after %v: %v", ErrDeadline, d, err)
+		}
+		return fmt.Errorf("%w: %v", ErrPeerClosed, err)
+	}
+}
+
+// writeFrame moves one frame in deadline-refreshed chunks.
+func (pe *peer) writeFrame(frame []byte) error {
+	for off := 0; off < len(frame); off += ioChunk {
+		end := off + ioChunk
+		if end > len(frame) {
+			end = len(frame)
+		}
+		if d := pe.timeout(); d > 0 {
+			_ = pe.conn.SetWriteDeadline(time.Now().Add(d))
+		}
+		if _, err := pe.conn.Write(frame[off:end]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeLoop drains the send queue; with a deadline armed it inserts
+// heartbeat frames whenever the link has been idle for a third of it.
+// On a write error it marks the peer dead and keeps draining the queue
+// (discarding) so senders blocked on a full queue are never stranded.
 func (pe *peer) writeLoop() {
 	defer close(pe.drained)
-	for frame := range pe.out {
-		if _, err := pe.conn.Write(frame); err != nil {
-			pe.box.kill()
+	for {
+		var frame []byte
+		var ok bool
+		if d := pe.timeout(); d > 0 {
+			t := time.NewTimer(d / 3)
+			select {
+			case frame, ok = <-pe.out:
+				t.Stop()
+			case <-t.C:
+				frame, ok = heartbeatFrame, true
+			}
+		} else {
+			// No deadline: poll so a later SetIOTimeout still takes
+			// effect on an idle link (no heartbeats are sent meanwhile).
+			t := time.NewTimer(500 * time.Millisecond)
+			select {
+			case frame, ok = <-pe.out:
+				t.Stop()
+			case <-t.C:
+				continue
+			}
+		}
+		if !ok {
+			return
+		}
+		if err := pe.writeFrame(frame); err != nil {
+			pe.fail(classify(err, pe.timeout()))
+			for range pe.out { // drain until close() closes the channel
+			}
 			return
 		}
 	}
 }
 
+// readFull fills buf in deadline-refreshed chunks.
+func (pe *peer) readFull(buf []byte) error {
+	for len(buf) > 0 {
+		n := len(buf)
+		if n > ioChunk {
+			n = ioChunk
+		}
+		if d := pe.timeout(); d > 0 {
+			_ = pe.conn.SetReadDeadline(time.Now().Add(d))
+		}
+		if _, err := io.ReadFull(pe.conn, buf[:n]); err != nil {
+			return err
+		}
+		buf = buf[n:]
+	}
+	return nil
+}
+
+// readLoop validates and delivers inbound frames, killing the link with
+// a typed cause on the first anomaly.
 func (pe *peer) readLoop() {
-	var hdr [16]byte
+	hdr := make([]byte, frameHdrLen)
 	for {
-		if _, err := io.ReadFull(pe.conn, hdr[:]); err != nil {
-			pe.box.kill()
+		if err := pe.readFull(hdr); err != nil {
+			pe.fail(classify(err, pe.timeout()))
+			return
+		}
+		if m := binary.LittleEndian.Uint32(hdr[20:24]); m != frameMagic {
+			pe.fail(fmt.Errorf("%w: magic %#x, want %#x", ErrBadFrame, m, frameMagic))
 			return
 		}
 		tag := int(int64(binary.LittleEndian.Uint64(hdr[:8])))
-		count := int(binary.LittleEndian.Uint64(hdr[8:]))
-		raw := make([]byte, count*16)
-		if _, err := io.ReadFull(pe.conn, raw); err != nil {
-			pe.box.kill()
+		count := binary.LittleEndian.Uint64(hdr[8:16])
+		if count > uint64(MaxFrameElems) {
+			pe.fail(fmt.Errorf("%w: header claims %d elements (limit %d)",
+				ErrFrameTooLarge, count, MaxFrameElems))
 			return
+		}
+		raw := make([]byte, count*16)
+		if err := pe.readFull(raw); err != nil {
+			pe.fail(classify(err, pe.timeout()))
+			return
+		}
+		crc := crc32.Checksum(hdr[:16], castagnoli)
+		crc = crc32.Update(crc, castagnoli, raw)
+		if want := binary.LittleEndian.Uint32(hdr[16:20]); crc != want {
+			pe.fail(fmt.Errorf("%w: computed %#x, frame says %#x", ErrChecksum, crc, want))
+			return
+		}
+		if tag == tagHeartbeat {
+			continue
 		}
 		data := make([]complex128, count)
 		for i := range data {
@@ -353,67 +659,101 @@ func (pe *peer) readLoop() {
 	}
 }
 
+// close shuts the link down gracefully: stop accepting frames, give the
+// writer a bounded window to flush, then close the socket. The wait is
+// bounded by twice the I/O deadline (when one is set) so a hung link can
+// never wedge Close itself.
 func (pe *peer) close() {
-	pe.once.Do(func() {
-		// Stop accepting frames, let the writer flush what is queued,
-		// then close the socket.
+	pe.closeOnce.Do(func() {
 		close(pe.out)
-		<-pe.drained
-		_ = pe.conn.Close()
+		if d := pe.timeout(); d > 0 {
+			t := time.NewTimer(2 * d)
+			select {
+			case <-pe.drained:
+				t.Stop()
+			case <-t.C:
+			}
+			_ = pe.conn.Close() // unblocks a stuck writer
+			<-pe.drained
+		} else {
+			<-pe.drained
+			_ = pe.conn.Close()
+		}
 	})
 }
 
-// encodeFrame lays out [tag int64][count int64][count × complex128].
-func encodeFrame(tag int, data []complex128) []byte {
-	buf := make([]byte, 16+16*len(data))
-	binary.LittleEndian.PutUint64(buf[:8], uint64(int64(tag)))
-	binary.LittleEndian.PutUint64(buf[8:16], uint64(len(data)))
-	for i, v := range data {
-		binary.LittleEndian.PutUint64(buf[16+i*16:], math.Float64bits(real(v)))
-		binary.LittleEndian.PutUint64(buf[16+i*16+8:], math.Float64bits(imag(v)))
-	}
-	return buf
-}
-
-// netMailbox is an unbounded FIFO of received packets.
+// netMailbox is an unbounded FIFO of received packets with a typed death
+// cause and deadline-bounded waits.
 type netMailbox struct {
-	mu    sync.Mutex
-	cond  *sync.Cond
-	queue []packet
-	dead  bool
+	mu     sync.Mutex
+	queue  []packet
+	dead   bool
+	cause  error
+	notify chan struct{} // 1-buffered wake-up for the single consumer
 }
 
 func newNetMailbox() *netMailbox {
-	m := &netMailbox{}
-	m.cond = sync.NewCond(&m.mu)
-	return m
+	return &netMailbox{notify: make(chan struct{}, 1)}
 }
 
 func (m *netMailbox) put(p packet) {
 	m.mu.Lock()
 	m.queue = append(m.queue, p)
 	m.mu.Unlock()
-	m.cond.Signal()
+	m.wake()
 }
 
-func (m *netMailbox) get() (packet, bool) {
+// kill marks the mailbox dead with a cause; queued packets stay
+// readable, matching the wire (they arrived intact before the fault).
+func (m *netMailbox) kill(cause error) {
 	m.mu.Lock()
-	defer m.mu.Unlock()
-	for len(m.queue) == 0 && !m.dead {
-		m.cond.Wait()
+	if !m.dead {
+		m.dead = true
+		m.cause = cause
 	}
-	if len(m.queue) == 0 {
-		return packet{}, false
-	}
-	p := m.queue[0]
-	m.queue[0] = packet{}
-	m.queue = m.queue[1:]
-	return p, true
-}
-
-func (m *netMailbox) kill() {
-	m.mu.Lock()
-	m.dead = true
 	m.mu.Unlock()
-	m.cond.Broadcast()
+	m.wake()
+}
+
+func (m *netMailbox) wake() {
+	select {
+	case m.notify <- struct{}{}:
+	default:
+	}
+}
+
+// get pops the next packet, waiting at most timeout (0 = forever). It
+// returns the link's death cause once the queue is empty and the link is
+// dead, or ErrDeadline if nothing arrives in time.
+func (m *netMailbox) get(timeout time.Duration) (packet, error) {
+	var expire <-chan time.Time
+	if timeout > 0 {
+		t := time.NewTimer(timeout)
+		defer t.Stop()
+		expire = t.C
+	}
+	for {
+		m.mu.Lock()
+		if len(m.queue) > 0 {
+			p := m.queue[0]
+			m.queue[0] = packet{}
+			m.queue = m.queue[1:]
+			m.mu.Unlock()
+			return p, nil
+		}
+		if m.dead {
+			cause := m.cause
+			m.mu.Unlock()
+			if cause == nil {
+				cause = ErrPeerClosed
+			}
+			return packet{}, cause
+		}
+		m.mu.Unlock()
+		select {
+		case <-m.notify:
+		case <-expire:
+			return packet{}, fmt.Errorf("%w: no frame within %v", ErrDeadline, timeout)
+		}
+	}
 }

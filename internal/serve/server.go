@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"os"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -41,6 +42,15 @@ type Config struct {
 	// RetryAfter is the hint attached to backpressure rejections
 	// (default 2×MaxLinger, at least 10ms).
 	RetryAfter time.Duration
+	// IdleTimeout closes a connection when no complete request arrives
+	// within it — one absolute deadline covers the idle wait plus the
+	// request read, so a slow-loris sender cannot pin a connection
+	// goroutine forever (0 = no limit).
+	IdleTimeout time.Duration
+	// WriteTimeout bounds writing one response; a client that stops
+	// reading is disconnected rather than wedging the handler
+	// (0 = no limit).
+	WriteTimeout time.Duration
 	// Logf, when set, receives one line per connection-level event.
 	Logf func(format string, args ...any)
 }
@@ -251,16 +261,28 @@ func (s *Server) handleConn(conn net.Conn) {
 	br := bufio.NewReader(&countingReader{r: conn, n: &s.metrics.bytesIn})
 	cw := &countingWriter{w: conn, n: &s.metrics.bytesOut}
 	bw := bufio.NewWriter(cw)
+	writeResp := func(resp *Response) error {
+		if s.cfg.WriteTimeout > 0 {
+			_ = conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+		}
+		if err := WriteResponse(bw, resp); err != nil {
+			return err
+		}
+		return bw.Flush()
+	}
 	for {
+		if s.cfg.IdleTimeout > 0 {
+			_ = conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
+		}
 		req, err := ReadRequest(br, s.cfg.MaxN)
 		if err != nil {
-			// EOF between frames is a client hanging up; anything else
-			// is a framing error worth one reply attempt.
+			// EOF between frames is a client hanging up and an expired
+			// idle deadline is a quiet disconnect; anything else is a
+			// framing error worth one reply attempt.
 			if !errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) &&
-				!errors.Is(err, net.ErrClosed) {
+				!errors.Is(err, net.ErrClosed) && !errors.Is(err, os.ErrDeadlineExceeded) {
 				s.cfg.Logf("serve: %s: read: %v", conn.RemoteAddr(), err)
-				_ = WriteResponse(bw, &Response{Status: StatusBadRequest, Msg: err.Error()})
-				_ = bw.Flush()
+				_ = writeResp(&Response{Status: StatusBadRequest, Msg: err.Error()})
 			}
 			return
 		}
@@ -271,21 +293,17 @@ func (s *Server) handleConn(conn net.Conn) {
 		if s.draining {
 			s.mu.Unlock()
 			s.metrics.drained.Add(1)
-			_ = WriteResponse(bw, &Response{
+			_ = writeResp(&Response{
 				Status: StatusDraining, RetryAfter: s.cfg.RetryAfter,
 				Msg: "server is draining",
 			})
-			_ = bw.Flush()
 			return
 		}
 		s.inflight.Add(1)
 		s.mu.Unlock()
 
 		resp := s.process(req)
-		err = WriteResponse(bw, resp)
-		if err == nil {
-			err = bw.Flush()
-		}
+		err = writeResp(resp)
 		s.inflight.Done()
 		if err != nil {
 			s.cfg.Logf("serve: %s: write: %v", conn.RemoteAddr(), err)
