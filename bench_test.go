@@ -221,6 +221,41 @@ func BenchmarkSOITransform(b *testing.B) {
 	}
 }
 
+// BenchmarkObservability measures the cost of each instrumentation level
+// on the shared-memory transform; the "off" row is the basis of the
+// near-zero-overhead-when-off claim (compare against BenchmarkSOITransform
+// or the plain sub-benchmark here).
+func BenchmarkObservability(b *testing.B) {
+	const n = 1 << 18
+	levels := []struct {
+		name string
+		opts []Option
+	}{
+		{"plain", nil},
+		{"off", []Option{WithInstrumentation(InstrumentOff)}},
+		{"counters", []Option{WithInstrumentation(InstrumentCounters)}},
+		{"timers", []Option{WithInstrumentation(InstrumentTimers)}},
+	}
+	for _, lv := range levels {
+		b.Run(lv.name, func(b *testing.B) {
+			plan, err := NewPlan(n, lv.opts...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			src := signal.Random(n, 4)
+			dst := make([]complex128, n)
+			b.SetBytes(int64(n) * 16)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := plan.Transform(dst, src); err != nil {
+					b.Fatal(err)
+				}
+			}
+			reportGFLOPS(b, 5*float64(n)*math.Log2(float64(n)))
+		})
+	}
+}
+
 // BenchmarkDistributedSOI runs the real distributed pipeline end to end
 // on in-process ranks.
 func BenchmarkDistributedSOI(b *testing.B) {

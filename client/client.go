@@ -123,23 +123,50 @@ func (c *Client) Ping() error {
 // Transform computes DFT(data) on the server under the plan named by
 // opt (nil = server defaults).
 func (c *Client) Transform(data []complex128, opt *Options) ([]complex128, error) {
-	return c.transform(serve.OpForward, data, opt)
+	return c.transform(context.Background(), serve.OpForward, data, opt)
+}
+
+// TransformContext is Transform bounded by ctx: cancellation or a ctx
+// deadline interrupts the round trip by expiring the connection's I/O
+// deadline, the same mechanism SetRequestTimeout uses. Like a timed-out
+// request, an interrupted one leaves the stream desynchronized, so the
+// connection is marked broken — redial to continue.
+func (c *Client) TransformContext(ctx context.Context, data []complex128, opt *Options) ([]complex128, error) {
+	return c.transform(ctx, serve.OpForward, data, opt)
 }
 
 // Inverse computes IDFT(data) on the server.
 func (c *Client) Inverse(data []complex128, opt *Options) ([]complex128, error) {
-	return c.transform(serve.OpInverse, data, opt)
+	return c.transform(context.Background(), serve.OpInverse, data, opt)
 }
 
-func (c *Client) transform(op serve.Op, data []complex128, opt *Options) ([]complex128, error) {
+// InverseContext is Inverse bounded by ctx (see TransformContext).
+func (c *Client) InverseContext(ctx context.Context, data []complex128, opt *Options) ([]complex128, error) {
+	return c.transform(ctx, serve.OpInverse, data, opt)
+}
+
+// PingContext round-trips an empty frame bounded by ctx.
+func (c *Client) PingContext(ctx context.Context) error {
+	_, err := c.doCtx(ctx, &serve.Request{Op: serve.OpPing, Accuracy: serve.AccuracyNone})
+	return err
+}
+
+func (c *Client) transform(ctx context.Context, op serve.Op, data []complex128, opt *Options) ([]complex128, error) {
 	req := &serve.Request{Op: op, N: len(data), Data: data}
 	opt.fill(req)
-	return c.do(req)
+	return c.doCtx(ctx, req)
 }
 
 func (c *Client) do(req *serve.Request) ([]complex128, error) {
+	return c.doCtx(context.Background(), req)
+}
+
+func (c *Client) doCtx(ctx context.Context, req *serve.Request) ([]complex128, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if c.broken != nil {
 		return nil, fmt.Errorf("client: connection broken by earlier failure, redial: %w", c.broken)
 	}
@@ -147,15 +174,31 @@ func (c *Client) do(req *serve.Request) ([]complex128, error) {
 		_ = c.conn.SetDeadline(time.Now().Add(c.timeout))
 		defer c.conn.SetDeadline(time.Time{})
 	}
+	if ctx.Done() != nil {
+		// Cancellation expires the connection deadline so a blocked read
+		// or write returns promptly; AfterFunc keeps the fast path free
+		// of extra goroutines when ctx is never cancelled.
+		stop := context.AfterFunc(ctx, func() {
+			_ = c.conn.SetDeadline(time.Now())
+		})
+		defer stop()
+	}
+	wrap := func(err error) error {
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			c.fail(fmt.Errorf("client: request interrupted: %w", ctxErr))
+			return ctxErr
+		}
+		return c.fail(err)
+	}
 	if err := serve.WriteRequest(c.bw, req); err != nil {
-		return nil, c.fail(fmt.Errorf("client: send: %w", err))
+		return nil, wrap(fmt.Errorf("client: send: %w", err))
 	}
 	if err := c.bw.Flush(); err != nil {
-		return nil, c.fail(fmt.Errorf("client: send: %w", err))
+		return nil, wrap(fmt.Errorf("client: send: %w", err))
 	}
 	resp, err := serve.ReadResponse(c.br, c.maxN)
 	if err != nil {
-		return nil, c.fail(fmt.Errorf("client: recv: %w", err))
+		return nil, wrap(fmt.Errorf("client: recv: %w", err))
 	}
 	if err := resp.Err(); err != nil {
 		return nil, err
@@ -190,7 +233,7 @@ func (c *Client) TransformRetry(ctx context.Context, data []complex128, opt *Opt
 	}
 	var lastErr error
 	for i := 0; i < attempts; i++ {
-		out, err := c.Transform(data, opt)
+		out, err := c.TransformContext(ctx, data, opt)
 		if err == nil {
 			return out, nil
 		}

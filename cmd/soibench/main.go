@@ -28,7 +28,28 @@ func main() {
 	goRates := flag.Bool("go-rates", false, "calibrate compute rates from this machine's Go kernels instead of the paper's node")
 	asCSV := flag.Bool("csv", false, "emit tables as CSV instead of aligned text")
 	measureN := flag.Int("measure-points", 1<<18, "points per rank for the real in-process runs")
+	report := flag.Bool("report", false, "run an instrumented distributed transform and print the observability report (stage timings, measured vs predicted comm volume), then exit")
+	ranks := flag.Int("ranks", 4, "in-process ranks for -report")
 	flag.Parse()
+
+	if *report {
+		t, err := bench.ObservabilityReport(*measureN, *ranks, 8, 72)
+		if err != nil {
+			fail(err)
+		}
+		if *asCSV {
+			t.FprintCSV(os.Stdout)
+		} else {
+			t.Fprint(os.Stdout)
+		}
+		off, timers, err := bench.InstrumentationOverhead(1<<16, 5)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("instrumentation overhead at N=65536 (best of 5): off %v, timers %v (%.1f%%)\n",
+			off, timers, 100*(float64(timers)/float64(off)-1))
+		return
+	}
 
 	cfg, err := bench.DefaultConfig()
 	if err != nil {

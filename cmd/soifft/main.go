@@ -37,6 +37,7 @@ func main() {
 	outFile := flag.String("out", "", "write the transform to a raw complex128 file")
 	wisdomIn := flag.String("wisdom-in", "", "load the plan from a wisdom file")
 	wisdomOut := flag.String("wisdom-out", "", "save the plan's wisdom after planning")
+	report := flag.Bool("report", false, "arm stage timers and print the plan's observability report after the transform")
 	flag.Parse()
 
 	src, err := loadInput(*inFile, *n, *sig)
@@ -47,6 +48,9 @@ func main() {
 	plan, err := makePlan(*wisdomIn, len(src), *segments, *taps)
 	if err != nil {
 		fail(err)
+	}
+	if *report {
+		plan.Instrument(soifft.InstrumentTimers)
 	}
 	if *wisdomOut != "" {
 		f, err := os.Create(*wisdomOut)
@@ -107,6 +111,10 @@ func main() {
 	}
 	fmt.Printf("accuracy vs conventional FFT: rel err %.3e, SNR %.0f dB\n",
 		signal.RelErrL2(got, ref), signal.SNRdB(got, ref))
+
+	if *report {
+		fmt.Print(plan.Report())
+	}
 
 	if *outFile != "" {
 		if err := writeComplexFile(*outFile, got); err != nil {

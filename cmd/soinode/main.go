@@ -28,10 +28,13 @@ import (
 	"strings"
 	"time"
 
+	"soifft/internal/bench"
 	"soifft/internal/core"
 	"soifft/internal/faultnet"
 	"soifft/internal/fft"
+	"soifft/internal/instrument"
 	"soifft/internal/mpinet"
+	"soifft/internal/perfmodel"
 	"soifft/internal/signal"
 )
 
@@ -50,6 +53,8 @@ func main() {
 		"per-operation I/O deadline on peer links; a peer that stalls longer is declared dead with a typed error (0 = wait forever)")
 	faultPlan := flag.String("fault-plan", "",
 		"faultnet chaos plan injected into this rank's links, e.g. seed=42,corrupt=0.001,latency=1ms (see internal/faultnet)")
+	report := flag.Bool("report", false,
+		"arm stage timers and print this rank's observability report after the transform: per-stage timings, comm counters, and the measured-vs-predicted communication ratio")
 	flag.Parse()
 
 	addrs := strings.Split(*peers, ",")
@@ -91,6 +96,10 @@ func main() {
 	if err := plan.ValidateDistributed(*size); err != nil {
 		fail(err)
 	}
+	if *report {
+		plan.SetRecorder(instrument.New(instrument.LevelTimers))
+		proc.SetRecorder(plan.Recorder())
+	}
 
 	src := signal.Random(*n, *seed)
 	nLocal := *n / *size
@@ -120,6 +129,25 @@ func main() {
 	}
 	if err := core.GuardComm(proc.Barrier); err != nil {
 		fail(err)
+	}
+
+	if *report {
+		snap := plan.Recorder().Snapshot()
+		bench.WriteStageReport(os.Stdout, fmt.Sprintf("rank %d", *rank), snap)
+		nPrime := int64(*n) * 5 / 4
+		perRank := 16 * nPrime * int64(*size-1) / int64(*size) / int64(*size)
+		baseline := 3 * 16 * int64(*n) * int64(*size-1) / int64(*size) / int64(*size)
+		model := perfmodel.Model{Beta: 0.25}
+		ratio := 0.0
+		if snap.Comm.AlltoallBytes > 0 {
+			ratio = float64(baseline) / float64(snap.Comm.AlltoallBytes)
+		}
+		fmt.Printf("rank %d: exchange volume %d B (analytic per-rank %d B); vs triple-all-to-all %d B: ratio %.3f, paper predicts 3/(1+beta) = %.3f\n",
+			*rank, snap.Comm.AlltoallBytes, perRank, baseline, ratio, model.AsymptoticSpeedup())
+		ns := proc.Stats()
+		fmt.Printf("rank %d: wire: %d frames out (%d B), %d frames in (%d B), %d heartbeats, %d dial retries, %d deadline, %d checksum, %d link failures\n",
+			*rank, ns.FramesSent, ns.BytesSent, ns.FramesReceived, ns.BytesReceived,
+			ns.HeartbeatsSent, ns.DialRetries, ns.DeadlineEvents, ns.ChecksumErrors, ns.LinkFailures)
 	}
 }
 

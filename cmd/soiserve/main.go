@@ -67,13 +67,20 @@ func runServe(args []string) {
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "graceful drain budget on SIGTERM")
 	idleTimeout := fs.Duration("idle-timeout", 5*time.Minute, "disconnect clients idle longer than this (0 = never)")
 	writeTimeout := fs.Duration("write-timeout", 30*time.Second, "disconnect clients that stall reading a response (0 = never)")
+	instrument := fs.String("instrument", "off", "per-plan pipeline instrumentation: off|counters|timers (exported on /metrics)")
 	_ = fs.Parse(args)
+
+	level, err := parseInstrument(*instrument)
+	if err != nil {
+		fail(err)
+	}
 
 	s := serve.New(serve.Config{
 		Addr: *addr, CacheCapacity: *cache, Workers: *workers,
 		MaxBatch: *maxBatch, MaxLinger: *linger, QueueDepth: *queue,
 		MaxN: *maxN, IdleTimeout: *idleTimeout, WriteTimeout: *writeTimeout,
-		Logf: func(format string, a ...any) { fmt.Fprintf(os.Stderr, format+"\n", a...) },
+		Instrument: level,
+		Logf:       func(format string, a ...any) { fmt.Fprintf(os.Stderr, format+"\n", a...) },
 	})
 
 	if *wisdom != "" {
@@ -82,7 +89,7 @@ func runServe(args []string) {
 			if err != nil {
 				fail(err)
 			}
-			p, err := s.Cache().WarmWisdom(f)
+			p, err := s.WarmWisdom(f)
 			f.Close()
 			if err != nil {
 				fail(fmt.Errorf("warming from %s: %w", path, err))
@@ -104,7 +111,7 @@ func runServe(args []string) {
 			}
 		}()
 		defer ms.Close()
-		fmt.Printf("soiserve: metrics on http://%s/debug/vars\n", *metricsAddr)
+		fmt.Printf("soiserve: metrics on http://%s/debug/vars (Prometheus: /metrics, profiles: /debug/pprof/)\n", *metricsAddr)
 	}
 
 	sigCh := make(chan os.Signal, 1)
@@ -211,6 +218,19 @@ func makeSignal(name string, n int) ([]complex128, error) {
 		return sig.Chirp(n, 0, float64(n)/2), nil
 	default:
 		return nil, fmt.Errorf("unknown signal %q", name)
+	}
+}
+
+func parseInstrument(s string) (soifft.InstrumentLevel, error) {
+	switch s {
+	case "off":
+		return soifft.InstrumentOff, nil
+	case "counters":
+		return soifft.InstrumentCounters, nil
+	case "timers":
+		return soifft.InstrumentTimers, nil
+	default:
+		return soifft.InstrumentOff, fmt.Errorf("unknown -instrument level %q (want off, counters or timers)", s)
 	}
 }
 

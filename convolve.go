@@ -28,8 +28,8 @@ func (p *Plan) Convolve(w *World, dst, src, filterSpec []complex128) error {
 	n := p.N()
 	r := w.Ranks()
 	if len(dst) != n || len(src) != n || len(filterSpec) != n {
-		return fmt.Errorf("soifft: need length %d, got dst %d src %d filter %d",
-			n, len(dst), len(src), len(filterSpec))
+		return fmt.Errorf("soifft: need length %d, got dst %d src %d filter %d: %w",
+			n, len(dst), len(src), len(filterSpec), ErrLength)
 	}
 	if err := p.inner.ValidateDistributed(r); err != nil {
 		return err

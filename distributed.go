@@ -1,6 +1,7 @@
 package soifft
 
 import (
+	"context"
 	"fmt"
 
 	"soifft/internal/mpi"
@@ -55,41 +56,13 @@ func (w *World) Stats() CommStats {
 // Communication per rank is one small halo exchange plus a single
 // all-to-all of (1+β)·N/R points.
 func (p *Plan) TransformDistributed(w *World, dst, src []complex128) error {
-	n := p.N()
-	r := w.Ranks()
-	if len(dst) != n || len(src) != n {
-		return fmt.Errorf("soifft: need length %d, got dst %d src %d", n, len(dst), len(src))
-	}
-	if err := p.inner.ValidateDistributed(r); err != nil {
-		return err
-	}
-	nLocal := n / r
-	return w.inner.Run(func(c *mpi.Comm) error {
-		in := src[c.Rank()*nLocal : (c.Rank()+1)*nLocal]
-		out := dst[c.Rank()*nLocal : (c.Rank()+1)*nLocal]
-		_, err := p.inner.RunDistributed(c, out, in)
-		return err
-	})
+	return p.TransformDistributedContext(context.Background(), w, dst, src)
 }
 
 // InverseDistributed is TransformDistributed for the inverse DFT; the
 // communication profile (one halo, one all-to-all) is unchanged.
 func (p *Plan) InverseDistributed(w *World, dst, src []complex128) error {
-	n := p.N()
-	r := w.Ranks()
-	if len(dst) != n || len(src) != n {
-		return fmt.Errorf("soifft: need length %d, got dst %d src %d", n, len(dst), len(src))
-	}
-	if err := p.inner.ValidateDistributed(r); err != nil {
-		return err
-	}
-	nLocal := n / r
-	return w.inner.Run(func(c *mpi.Comm) error {
-		in := src[c.Rank()*nLocal : (c.Rank()+1)*nLocal]
-		out := dst[c.Rank()*nLocal : (c.Rank()+1)*nLocal]
-		_, err := p.inner.RunDistributedInverse(c, out, in)
-		return err
-	})
+	return p.InverseDistributedContext(context.Background(), w, dst, src)
 }
 
 // RunSPMD executes fn once per rank (SPMD style) and waits for all ranks;
@@ -106,7 +79,7 @@ func (p *Plan) TransformSegmentDistributed(w *World, src []complex128, s int) ([
 	n := p.N()
 	r := w.Ranks()
 	if len(src) != n {
-		return nil, fmt.Errorf("soifft: need length %d, got %d", n, len(src))
+		return nil, fmt.Errorf("soifft: need length %d, got %d: %w", n, len(src), ErrLength)
 	}
 	if err := p.inner.ValidateDistributed(r); err != nil {
 		return nil, err

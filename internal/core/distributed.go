@@ -1,8 +1,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"sync/atomic"
 	"time"
+
+	"soifft/internal/instrument"
 )
 
 // Tags used by the distributed driver.
@@ -85,16 +89,85 @@ func (pl *Plan) ValidateDistributed(r int) error {
 	p := pl.prm
 	switch {
 	case r <= 0:
-		return fmt.Errorf("core: rank count must be positive, got %d", r)
+		return fmt.Errorf("core: rank count must be positive, got %d: %w", r, ErrPlanMismatch)
 	case p.P%r != 0:
-		return fmt.Errorf("core: ranks=%d must divide segments P=%d", r, p.P)
+		return fmt.Errorf("core: ranks=%d must divide segments P=%d: %w", r, p.P, ErrPlanMismatch)
 	case pl.groups%r != 0:
-		return fmt.Errorf("core: ranks=%d must divide row groups M/ν=%d", r, pl.groups)
+		return fmt.Errorf("core: ranks=%d must divide row groups M/ν=%d: %w", r, pl.groups, ErrPlanMismatch)
 	case r > 1 && pl.HaloLen() > (r-1)*(p.N/r):
-		return fmt.Errorf("core: halo %d exceeds the %d available neighbour blocks of %d; decrease B or ranks",
-			pl.HaloLen(), r-1, p.N/r)
+		return fmt.Errorf("core: halo %d exceeds the %d available neighbour blocks of %d; decrease B or ranks: %w",
+			pl.HaloLen(), r-1, p.N/r, ErrPlanMismatch)
 	}
 	return nil
+}
+
+// countingComm wraps a Comm and mirrors its traffic into a Recorder:
+// point-to-point payload bytes at the sender, all-to-all volume as this
+// rank's inter-rank contribution (self-copies excluded, matching what a
+// fabric would carry — summed over per-rank recorders, or accumulated in
+// one shared recorder, the total is 16·(1+β)·N·(R−1)/R bytes per SOI
+// transform). The collective op itself is counted once per world, on
+// rank 0, mirroring the mpi.World statistics convention.
+type countingComm struct {
+	Comm
+	rec *instrument.Recorder
+}
+
+// instrumentComm wraps c when the recorder is observing; otherwise it
+// returns c untouched so the uninstrumented path has zero indirection.
+func instrumentComm(c Comm, rec *instrument.Recorder) Comm {
+	if !rec.On() {
+		return c
+	}
+	return &countingComm{Comm: c, rec: rec}
+}
+
+func (cc *countingComm) Send(to, tag int, data any) {
+	cc.rec.CountMessage(payloadBytes(data))
+	cc.Comm.Send(to, tag, data)
+}
+
+func (cc *countingComm) Alltoall(send []complex128, chunk int) []complex128 {
+	if cc.Comm.Rank() == 0 {
+		cc.rec.CountAlltoallOp()
+	}
+	cc.rec.CountAlltoallBytes(int64(cc.Comm.Size()-1) * int64(chunk) * 16)
+	return cc.Comm.Alltoall(send, chunk)
+}
+
+func (cc *countingComm) PairwiseAlltoallv(send []complex128, sendCounts, recvCounts []int) []complex128 {
+	if cc.Comm.Rank() == 0 {
+		cc.rec.CountAlltoallOp()
+	}
+	var n int64
+	for t, cnt := range sendCounts {
+		if t != cc.Comm.Rank() {
+			n += int64(cnt)
+		}
+	}
+	cc.rec.CountAlltoallBytes(n * 16)
+	return cc.Comm.PairwiseAlltoallv(send, sendCounts, recvCounts)
+}
+
+func (cc *countingComm) Gather(root int, chunk []complex128) []complex128 {
+	if cc.Comm.Rank() != root {
+		cc.rec.CountMessage(int64(len(chunk)) * 16)
+	}
+	return cc.Comm.Gather(root, chunk)
+}
+
+// payloadBytes sizes the wire payload of a Send argument.
+func payloadBytes(data any) int64 {
+	switch d := data.(type) {
+	case []complex128:
+		return int64(len(d)) * 16
+	case []float64:
+		return int64(len(d)) * 8
+	case []byte:
+		return int64(len(d))
+	default:
+		return 0
+	}
 }
 
 // RunDistributed executes the SOI factorization over the communicator:
@@ -103,12 +176,23 @@ func (pl *Plan) ValidateDistributed(r int) error {
 // neighbour halo of (B−1)·P points plus a single all-to-all of
 // (1+β)·N/R points — versus three all-to-alls of N/R points for the
 // standard algorithms in internal/baseline.
-func (pl *Plan) RunDistributed(c Comm, localOut, localIn []complex128) (dt DistributedTimes, err error) {
+func (pl *Plan) RunDistributed(c Comm, localOut, localIn []complex128) (DistributedTimes, error) {
+	return pl.RunDistributedContext(context.Background(), c, localOut, localIn)
+}
+
+// RunDistributedContext is RunDistributed with cancellation checks at
+// phase boundaries. A cancelled context stops this rank before its next
+// local phase; it does not interrupt a collective already in flight (the
+// transport's I/O deadline bounds those), and ranks that stop early
+// leave peers to fail with their own deadline faults.
+func (pl *Plan) RunDistributedContext(ctx context.Context, c Comm, localOut, localIn []complex128) (dt DistributedTimes, err error) {
 	defer RecoverFault(&err)
 	r := c.Size()
 	if err := pl.ValidateDistributed(r); err != nil {
 		return dt, err
 	}
+	rec := pl.rec
+	c = instrumentComm(c, rec)
 	p := pl.prm
 	workers := p.Workers
 	if workers <= 0 {
@@ -116,8 +200,11 @@ func (pl *Plan) RunDistributed(c Comm, localOut, localIn []complex128) (dt Distr
 	}
 	nLocal := p.N / r
 	if len(localIn) != nLocal || len(localOut) != nLocal {
-		return dt, fmt.Errorf("core: rank %d: need local length %d, got in %d out %d",
-			c.Rank(), nLocal, len(localIn), len(localOut))
+		return dt, fmt.Errorf("core: rank %d: need local length %d, got in %d out %d: %w",
+			c.Rank(), nLocal, len(localIn), len(localOut), ErrLength)
+	}
+	if err := ctx.Err(); err != nil {
+		return dt, err
 	}
 	rank := c.Rank()
 	halo := pl.HaloLen()
@@ -157,10 +244,16 @@ func (pl *Plan) RunDistributed(c Comm, localOut, localIn []complex128) (dt Distr
 	for jMid < jLo+bpr && pl.rowEndCol(jMid) <= (rank+1)*nLocal {
 		jMid++
 	}
+	timed := rec.Timing()
+	var convBusy, segBusy atomic.Int64
 	v := make([]complex128, bpr*p.P)
 	conv := make([]complex128, bpr*p.P)
 	parfor(workers, jMid-jLo, func(lo, hi int) {
+		w0 := time.Now()
 		pl.ConvolveRange(conv[lo*p.P:hi*p.P], ext, jLo+lo, jLo+hi, rank*nLocal)
+		if timed {
+			convBusy.Add(int64(time.Since(w0)))
+		}
 	})
 	dt.Convolve = time.Since(t0)
 
@@ -177,8 +270,15 @@ func (pl *Plan) RunDistributed(c Comm, localOut, localIn []complex128) (dt Distr
 
 	t0 = time.Now()
 	pl.ConvolveRange(conv[(jMid-jLo)*p.P:], ext, jMid, jLo+bpr, rank*nLocal)
+	if timed {
+		convBusy.Add(int64(time.Since(t0)))
+	}
 	parfor(workers, bpr, func(lo, hi int) {
+		w0 := time.Now()
 		pl.BlockFFTBatch(v[lo*p.P:hi*p.P], conv[lo*p.P:hi*p.P], hi-lo)
+		if timed {
+			convBusy.Add(int64(time.Since(w0)))
+		}
 	})
 
 	// Pack for the exchange: destination t gets lanes [t·spr, (t+1)·spr)
@@ -192,6 +292,9 @@ func (pl *Plan) RunDistributed(c Comm, localOut, localIn []complex128) (dt Distr
 		}
 	}
 	dt.Convolve += time.Since(t0)
+	if err := ctx.Err(); err != nil {
+		return dt, err
+	}
 
 	// Phase 3: the single all-to-all (stride-P permutation P_perm^{P,N'}).
 	t0 = time.Now()
@@ -206,11 +309,15 @@ func (pl *Plan) RunDistributed(c Comm, localOut, localIn []complex128) (dt Distr
 		recv = c.Alltoall(send, chunk)
 	}
 	dt.Exchange = time.Since(t0)
+	if err := ctx.Err(); err != nil {
+		return dt, err
+	}
 
 	// Phase 4: assemble each owned segment's oversampled sequence, run
 	// F_M', project and demodulate.
 	t0 = time.Now()
 	parfor(workers, spr, func(sLo, sHi int) {
+		w0 := time.Now()
 		xt := make([]complex128, pl.mp)
 		yt := make([]complex128, pl.mp)
 		for ss := sLo; ss < sHi; ss++ {
@@ -223,7 +330,25 @@ func (pl *Plan) RunDistributed(c Comm, localOut, localIn []complex128) (dt Distr
 			pl.SegmentFFT(yt, xt)
 			pl.Demodulate(localOut[ss*pl.m:(ss+1)*pl.m], yt)
 		}
+		if timed {
+			segBusy.Add(int64(time.Since(w0)))
+		}
 	})
 	dt.SegmentFT = time.Since(t0)
+
+	if rec.On() {
+		rec.AddTransform() // counts per-rank executions on the distributed path
+		wall := dt
+		if !rec.Timing() {
+			wall = DistributedTimes{}
+		}
+		rec.ObserveStage(instrument.StageHalo, wall.Halo, 0, 1, 0)
+		rec.ObserveStage(instrument.StageConvolve, wall.Convolve,
+			time.Duration(convBusy.Load()), workers, pl.convStageFlops()/int64(r))
+		rec.ObserveStage(instrument.StageExchange, wall.Exchange, 0, 1, 0)
+		rec.ObserveStage(instrument.StageSegmentFFT, wall.SegmentFT,
+			time.Duration(segBusy.Load()), workers,
+			(pl.segmentStageFlops()+pl.demodStageFlops())/int64(r))
+	}
 	return dt, nil
 }

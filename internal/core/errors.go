@@ -1,0 +1,23 @@
+package core
+
+import "errors"
+
+// Sentinel errors of the execution surface. Every validation failure of
+// Transform*, the distributed drivers and the convolution wraps one of
+// these, so callers classify failures with errors.Is instead of matching
+// message text. The public soifft package re-exports them.
+var (
+	// ErrLength reports a dst/src/filter slice whose length does not
+	// match what the plan requires.
+	ErrLength = errors.New("length mismatch")
+	// ErrAlias reports dst and src sharing backing storage where the
+	// pipeline requires distinct buffers.
+	ErrAlias = errors.New("dst aliases src")
+	// ErrSegmentRange reports a segment index outside [0, P).
+	ErrSegmentRange = errors.New("segment index out of range")
+	// ErrPlanMismatch reports an execution shape the plan cannot serve —
+	// a rank count that does not divide the plan's segments or row
+	// groups, a halo larger than the neighbour blocks, or a root rank
+	// outside the world.
+	ErrPlanMismatch = errors.New("execution shape incompatible with plan")
+)

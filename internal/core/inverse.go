@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/cmplx"
 )
 
@@ -12,9 +13,15 @@ import (
 //
 // so the inverse inherits the single-all-to-all property unchanged.
 func (pl *Plan) InverseTransform(dst, src []complex128) error {
+	return pl.InverseTransformContext(context.Background(), dst, src)
+}
+
+// InverseTransformContext is InverseTransform with the forward path's
+// cancellation checks at stage boundaries.
+func (pl *Plan) InverseTransformContext(ctx context.Context, dst, src []complex128) error {
 	tmp := make([]complex128, len(src))
 	conjInto(tmp, src)
-	if err := pl.Transform(dst, tmp); err != nil {
+	if err := pl.TransformContext(ctx, dst, tmp); err != nil {
 		return err
 	}
 	conjScale(dst, 1/float64(pl.prm.N))
@@ -26,9 +33,15 @@ func (pl *Plan) InverseTransform(dst, src []complex128) error {
 // communication profile is identical to the forward run (one halo
 // exchange plus a single all-to-all).
 func (pl *Plan) RunDistributedInverse(c Comm, localOut, localIn []complex128) (DistributedTimes, error) {
+	return pl.RunDistributedInverseContext(context.Background(), c, localOut, localIn)
+}
+
+// RunDistributedInverseContext is RunDistributedInverse with the forward
+// driver's cancellation checks at phase boundaries.
+func (pl *Plan) RunDistributedInverseContext(ctx context.Context, c Comm, localOut, localIn []complex128) (DistributedTimes, error) {
 	tmp := make([]complex128, len(localIn))
 	conjInto(tmp, localIn)
-	dt, err := pl.RunDistributed(c, localOut, tmp)
+	dt, err := pl.RunDistributedContext(ctx, c, localOut, tmp)
 	if err != nil {
 		return dt, err
 	}

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"soifft/internal/fft"
+	"soifft/internal/instrument"
 	"soifft/internal/window"
 )
 
@@ -34,6 +35,11 @@ type Plan struct {
 
 	win     window.Window
 	metrics window.Metrics
+
+	// rec is the optional observability sink; nil (the default) keeps
+	// every execution path at its uninstrumented cost apart from one
+	// pointer test per stage.
+	rec *instrument.Recorder
 
 	ws sync.Pool // *workspace, reused across Transform calls
 }
@@ -135,6 +141,15 @@ func (pl *Plan) buildDemodulation() {
 
 // Params returns the parameters the plan was built with (window resolved).
 func (pl *Plan) Params() Params { return pl.prm }
+
+// SetRecorder attaches (or, with nil, detaches) an observability
+// recorder. The recorder itself is concurrency-safe, but SetRecorder is
+// a plain pointer write: install it before sharing the plan across
+// goroutines, not while transforms are in flight.
+func (pl *Plan) SetRecorder(r *instrument.Recorder) { pl.rec = r }
+
+// Recorder returns the attached recorder (nil when observability is off).
+func (pl *Plan) Recorder() *instrument.Recorder { return pl.rec }
 
 // M returns the segment length N/P.
 func (pl *Plan) M() int { return pl.m }

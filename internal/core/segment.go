@@ -1,10 +1,14 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/cmplx"
 	"runtime"
+	"time"
+
+	"soifft/internal/instrument"
 )
 
 // TransformSegment computes a single frequency segment
@@ -15,16 +19,31 @@ import (
 // M'-point FFT: far cheaper than a full transform when only part of the
 // spectrum is wanted.
 func (pl *Plan) TransformSegment(dst, src []complex128, s int) error {
+	return pl.TransformSegmentContext(context.Background(), dst, src, s)
+}
+
+// TransformSegmentContext is TransformSegment with cancellation checks
+// between the convolution and the segment FFT.
+func (pl *Plan) TransformSegmentContext(ctx context.Context, dst, src []complex128, s int) error {
 	p := pl.prm
 	if s < 0 || s >= p.P {
-		return fmt.Errorf("core: segment %d out of range [0, %d)", s, p.P)
+		return fmt.Errorf("core: segment %d out of range [0, %d): %w", s, p.P, ErrSegmentRange)
 	}
 	if len(src) != p.N || len(dst) != pl.m {
-		return fmt.Errorf("core: need src %d dst %d, got %d/%d", p.N, pl.m, len(src), len(dst))
+		return fmt.Errorf("core: need src %d dst %d, got %d/%d: %w", p.N, pl.m, len(src), len(dst), ErrLength)
+	}
+	if err := ctx.Err(); err != nil {
+		return err
 	}
 	workers := p.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
+	}
+	rec := pl.rec
+	timed := rec.Timing()
+	var t0 time.Time
+	if timed {
+		t0 = time.Now()
 	}
 
 	ext := make([]complex128, p.N+pl.HaloLen())
@@ -52,10 +71,33 @@ func (pl *Plan) TransformSegment(dst, src []complex128, s int) error {
 			xt[j] = acc
 		}
 	})
+	var convWall time.Duration
+	if timed {
+		convWall = time.Since(t0)
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 
+	if timed {
+		t0 = time.Now()
+	}
 	yt := make([]complex128, pl.mp)
 	pl.fftMP.Forward(yt, xt)
 	pl.Demodulate(dst, yt)
+	if rec.On() {
+		var segWall time.Duration
+		if timed {
+			segWall = time.Since(t0)
+		}
+		// Segment pursuit: the convolution runs in full, but only one
+		// lane of each P-point DFT is evaluated (2 flops per real op of
+		// an 8-flop complex MAC ⇒ row dot product ≈ mp·P·8).
+		rec.ObserveStage(instrument.StageConvolve, convWall, 0, workers,
+			pl.ConvFlops()+int64(pl.mp)*int64(p.P)*8)
+		rec.ObserveStage(instrument.StageSegmentFFT, segWall, 0, 1,
+			int64(5*float64(pl.mp)*math.Log2(float64(pl.mp))))
+	}
 	return nil
 }
 
@@ -73,15 +115,16 @@ func (pl *Plan) RunDistributedSegment(c Comm, localIn []complex128, s, root int)
 	if err := pl.ValidateDistributed(r); err != nil {
 		return nil, err
 	}
+	c = instrumentComm(c, pl.rec)
 	if s < 0 || s >= p.P {
-		return nil, fmt.Errorf("core: segment %d out of range [0, %d)", s, p.P)
+		return nil, fmt.Errorf("core: segment %d out of range [0, %d): %w", s, p.P, ErrSegmentRange)
 	}
 	if root < 0 || root >= r {
-		return nil, fmt.Errorf("core: root %d out of range [0, %d)", root, r)
+		return nil, fmt.Errorf("core: root %d out of range [0, %d): %w", root, r, ErrPlanMismatch)
 	}
 	nLocal := p.N / r
 	if len(localIn) != nLocal {
-		return nil, fmt.Errorf("core: rank %d: need local length %d, got %d", c.Rank(), nLocal, len(localIn))
+		return nil, fmt.Errorf("core: rank %d: need local length %d, got %d: %w", c.Rank(), nLocal, len(localIn), ErrLength)
 	}
 	rank := c.Rank()
 	halo := pl.HaloLen()

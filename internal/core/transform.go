@@ -1,10 +1,15 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"math"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"soifft/internal/instrument"
 )
 
 // PhaseTimes records wall time per pipeline stage of one transform; it
@@ -26,24 +31,42 @@ func (t PhaseTimes) Total() time.Duration {
 // shared-memory parallelism. dst and src must have length N and must not
 // alias.
 func (pl *Plan) Transform(dst, src []complex128) error {
-	_, err := pl.TransformTimed(dst, src)
+	_, err := pl.transform(context.Background(), dst, src)
+	return err
+}
+
+// TransformContext is Transform with cancellation checks at stage
+// boundaries: when ctx is cancelled the pipeline stops before its next
+// stage and returns ctx.Err(). A stage already running completes (stages
+// are pure compute; the longest is a fraction of the transform).
+func (pl *Plan) TransformContext(ctx context.Context, dst, src []complex128) error {
+	_, err := pl.transform(ctx, dst, src)
 	return err
 }
 
 // TransformTimed is Transform with per-phase wall-time reporting.
 func (pl *Plan) TransformTimed(dst, src []complex128) (PhaseTimes, error) {
+	return pl.transform(context.Background(), dst, src)
+}
+
+func (pl *Plan) transform(ctx context.Context, dst, src []complex128) (PhaseTimes, error) {
 	var pt PhaseTimes
 	p := pl.prm
 	if len(src) != p.N || len(dst) != p.N {
-		return pt, fmt.Errorf("core: need len %d, got dst %d src %d", p.N, len(dst), len(src))
+		return pt, fmt.Errorf("core: need len %d, got dst %d src %d: %w", p.N, len(dst), len(src), ErrLength)
 	}
 	if len(src) > 0 && len(dst) > 0 && &dst[0] == &src[0] {
-		return pt, fmt.Errorf("core: dst must not alias src")
+		return pt, fmt.Errorf("core: dst must not alias src: %w", ErrAlias)
+	}
+	if err := ctx.Err(); err != nil {
+		return pt, err
 	}
 	workers := p.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	rec := pl.rec
+	timed := rec.Timing()
 
 	// Extend the input with its own head so tap windows never wrap: this
 	// is the shared-memory stand-in for the neighbour halo exchange.
@@ -56,28 +79,53 @@ func (pl *Plan) TransformTimed(dst, src []complex128) (PhaseTimes, error) {
 
 	// Stage 1+2 fused: convolution blocks and their P-point FFTs.
 	v := ws.v
+	var convBusy atomic.Int64
 	parfor(workers, pl.mp, func(jLo, jHi int) {
+		var w0 time.Time
+		if timed {
+			w0 = time.Now()
+		}
 		tmp := ws.conv[jLo*p.P : jHi*p.P]
 		pl.ConvolveRange(tmp, xext, jLo, jHi, 0)
 		pl.fftP.Batch(v[jLo*p.P:jHi*p.P], tmp, jHi-jLo)
+		if timed {
+			convBusy.Add(int64(time.Since(w0)))
+		}
 	})
 	pt.Convolve = time.Since(t0)
+	if err := ctx.Err(); err != nil {
+		return pt, err
+	}
 
 	// Stage 3: stride-P permutation, gathering each segment contiguously.
 	t0 = time.Now()
 	seg := ws.seg
 	transpose(seg, v, pl.mp, p.P, workers)
 	pt.Transpose = time.Since(t0)
+	if err := ctx.Err(); err != nil {
+		return pt, err
+	}
 
 	// Stage 4: per-segment M'-point FFTs.
 	t0 = time.Now()
 	ybuf := ws.yb
+	var segBusy atomic.Int64
 	parfor(workers, p.P, func(sLo, sHi int) {
+		var w0 time.Time
+		if timed {
+			w0 = time.Now()
+		}
 		for s := sLo; s < sHi; s++ {
 			pl.fftMP.Forward(ybuf[s*pl.mp:(s+1)*pl.mp], seg[s*pl.mp:(s+1)*pl.mp])
 		}
+		if timed {
+			segBusy.Add(int64(time.Since(w0)))
+		}
 	})
 	pt.SegmentFT = time.Since(t0)
+	if err := ctx.Err(); err != nil {
+		return pt, err
+	}
 
 	// Stage 5: project to the top M entries of each segment, demodulate.
 	t0 = time.Now()
@@ -87,6 +135,20 @@ func (pl *Plan) TransformTimed(dst, src []complex128) (PhaseTimes, error) {
 		}
 	})
 	pt.Demod = time.Since(t0)
+
+	if rec.On() {
+		rec.AddTransform()
+		wall := pt
+		if !timed {
+			wall = PhaseTimes{} // counters level: events and FLOPs only
+		}
+		rec.ObserveStage(instrument.StageConvolve, wall.Convolve,
+			time.Duration(convBusy.Load()), workers, pl.convStageFlops())
+		rec.ObserveStage(instrument.StageExchange, wall.Transpose, 0, workers, 0)
+		rec.ObserveStage(instrument.StageSegmentFFT, wall.SegmentFT,
+			time.Duration(segBusy.Load()), workers, pl.segmentStageFlops())
+		rec.ObserveStage(instrument.StageDemod, wall.Demod, 0, workers, pl.demodStageFlops())
+	}
 	return pt, nil
 }
 
@@ -125,6 +187,24 @@ func (pl *Plan) Demodulate(dst, ytilde []complex128) {
 	for k := 0; k < pl.m; k++ {
 		dst[k] = ytilde[k] * pl.invW[k]
 	}
+}
+
+// convStageFlops estimates the arithmetic of the fused convolve + I⊗F_P
+// stage of one full transform.
+func (pl *Plan) convStageFlops() int64 {
+	return pl.ConvFlops() + int64(5*float64(pl.np)*math.Log2(float64(pl.prm.P)))
+}
+
+// segmentStageFlops estimates the arithmetic of the per-segment F_M'
+// batch of one full transform.
+func (pl *Plan) segmentStageFlops() int64 {
+	return int64(5 * float64(pl.np) * math.Log2(float64(pl.mp)))
+}
+
+// demodStageFlops estimates the arithmetic of the demodulation stage
+// (one complex multiply per output point).
+func (pl *Plan) demodStageFlops() int64 {
+	return int64(pl.prm.N) * 6
 }
 
 // SegmentFFT runs the per-segment F_M' transform (exposed for the

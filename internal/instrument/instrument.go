@@ -1,0 +1,349 @@
+// Package instrument is the pipeline observability layer: lock-free
+// per-stage and per-operation counters that the SOI execution paths
+// (core.Plan.Transform*, the distributed drivers, the transports) feed
+// and that the public soifft.Plan.Report surface, the soiserve /metrics
+// endpoint and the -report flags of the commands render.
+//
+// The design goal is a hot path that costs nothing when observability is
+// off and only atomic adds when it is on:
+//
+//   - a nil *Recorder is fully inert — every method is nil-safe and the
+//     execution paths guard with a single pointer test;
+//   - LevelCounters updates monotonic atomic counters (calls, FLOPs,
+//     bytes, messages) and never reads the clock;
+//   - LevelTimers additionally records per-stage wall time and worker
+//     busy time (occupancy), paying a handful of time.Now calls per
+//     transform.
+//
+// All counters are cumulative since creation (or the last Reset); a
+// Snapshot is a consistent-enough point-in-time copy for reporting (each
+// counter is read atomically; cross-counter skew is bounded by one
+// in-flight transform).
+package instrument
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Level selects how much the recorder observes.
+type Level int32
+
+// Observability levels.
+const (
+	// LevelOff records nothing. A nil *Recorder behaves identically;
+	// execution paths treat the two the same.
+	LevelOff Level = iota
+	// LevelCounters maintains atomic event counters (stage calls, FLOP
+	// estimates, communication bytes/messages) without reading the clock.
+	LevelCounters
+	// LevelTimers additionally measures per-stage wall time and worker
+	// busy time, enabling occupancy and rate reporting.
+	LevelTimers
+)
+
+// String names the level.
+func (l Level) String() string {
+	switch l {
+	case LevelOff:
+		return "off"
+	case LevelCounters:
+		return "counters"
+	case LevelTimers:
+		return "timers"
+	default:
+		return "unknown"
+	}
+}
+
+// Stage identifies one factorization stage of the SOI pipeline, in
+// execution order. The same identifiers serve the shared-memory path
+// (where Exchange is the in-memory stride-P transpose) and the
+// distributed path (where Exchange is the single all-to-all and Halo the
+// neighbour prefix exchange).
+type Stage int
+
+// Pipeline stages.
+const (
+	// StageHalo is the neighbour halo exchange of (B−1)·P points
+	// (distributed runs only; zero on the shared-memory path).
+	StageHalo Stage = iota
+	// StageConvolve is the oversampled convolution W·x fused with the
+	// I⊗F_P block FFT batch — the extra arithmetic SOI pays.
+	StageConvolve
+	// StageExchange is the stride-P permutation: the in-memory transpose
+	// on one machine, the single all-to-all across ranks.
+	StageExchange
+	// StageSegmentFFT is the per-segment F_M' batch.
+	StageSegmentFFT
+	// StageDemod is the projection to M entries and Ŵ⁻¹ demodulation.
+	StageDemod
+
+	// NumStages is the stage count (for iteration).
+	NumStages
+)
+
+// String names the stage (stable identifiers used as metric labels).
+func (s Stage) String() string {
+	switch s {
+	case StageHalo:
+		return "halo"
+	case StageConvolve:
+		return "convolve"
+	case StageExchange:
+		return "exchange"
+	case StageSegmentFFT:
+		return "segment_fft"
+	case StageDemod:
+		return "demod"
+	default:
+		return "unknown"
+	}
+}
+
+// stageCounters is the per-stage accumulator.
+type stageCounters struct {
+	calls  atomic.Int64
+	wallNs atomic.Int64
+	busyNs atomic.Int64
+	flops  atomic.Int64
+	// workers remembers the widest worker span observed for the stage,
+	// the denominator of the occupancy ratio.
+	workers atomic.Int64
+}
+
+// commCounters accumulates communication activity.
+type commCounters struct {
+	messages       atomic.Int64
+	bytes          atomic.Int64
+	alltoalls      atomic.Int64
+	alltoallBytes  atomic.Int64
+	retransmits    atomic.Int64
+	deadlineEvents atomic.Int64
+	checksumErrors atomic.Int64
+}
+
+// Recorder accumulates observations. All methods are safe for concurrent
+// use and safe on a nil receiver (no-ops), so execution paths can hold an
+// optional *Recorder and call unconditionally on guarded branches.
+type Recorder struct {
+	level      atomic.Int32
+	transforms atomic.Int64
+	stages     [NumStages]stageCounters
+	comm       commCounters
+}
+
+// New returns a recorder at the given level; LevelOff (or below) yields
+// nil, the canonical "not observing" recorder.
+func New(level Level) *Recorder {
+	if level <= LevelOff {
+		return nil
+	}
+	r := &Recorder{}
+	r.level.Store(int32(level))
+	return r
+}
+
+// Level returns the recorder's level (LevelOff for nil).
+func (r *Recorder) Level() Level {
+	if r == nil {
+		return LevelOff
+	}
+	return Level(r.level.Load())
+}
+
+// On reports whether any observation is active.
+func (r *Recorder) On() bool { return r != nil && Level(r.level.Load()) > LevelOff }
+
+// Timing reports whether wall/busy time should be measured.
+func (r *Recorder) Timing() bool { return r != nil && Level(r.level.Load()) >= LevelTimers }
+
+// AddTransform counts one completed transform execution.
+func (r *Recorder) AddTransform() {
+	if r == nil {
+		return
+	}
+	r.transforms.Add(1)
+}
+
+// ObserveStage records one execution of a stage: wall and busy time
+// (zero unless the caller measured them), the worker span that executed
+// it, and the estimated floating-point operations.
+func (r *Recorder) ObserveStage(s Stage, wall, busy time.Duration, workers int, flops int64) {
+	if r == nil || s < 0 || s >= NumStages {
+		return
+	}
+	c := &r.stages[s]
+	c.calls.Add(1)
+	c.flops.Add(flops)
+	if wall > 0 {
+		c.wallNs.Add(int64(wall))
+	}
+	if busy > 0 {
+		c.busyNs.Add(int64(busy))
+	}
+	w := int64(workers)
+	for {
+		cur := c.workers.Load()
+		if w <= cur || c.workers.CompareAndSwap(cur, w) {
+			break
+		}
+	}
+}
+
+// CountMessage records one point-to-point payload of the given size.
+func (r *Recorder) CountMessage(bytes int64) {
+	if r == nil {
+		return
+	}
+	r.comm.messages.Add(1)
+	r.comm.bytes.Add(bytes)
+}
+
+// CountAlltoallBytes adds this rank's inter-rank contribution to an
+// all-to-all (self-copies excluded, matching what a fabric would carry).
+func (r *Recorder) CountAlltoallBytes(bytes int64) {
+	if r == nil {
+		return
+	}
+	r.comm.alltoallBytes.Add(bytes)
+}
+
+// CountAlltoallOp counts one collective all-to-all (call once per
+// collective, not once per rank).
+func (r *Recorder) CountAlltoallOp() {
+	if r == nil {
+		return
+	}
+	r.comm.alltoalls.Add(1)
+}
+
+// CountRetransmit records a transport-level retry (e.g. a mesh dial
+// retry while peers launch).
+func (r *Recorder) CountRetransmit() {
+	if r == nil {
+		return
+	}
+	r.comm.retransmits.Add(1)
+}
+
+// CountDeadline records an expired I/O deadline.
+func (r *Recorder) CountDeadline() {
+	if r == nil {
+		return
+	}
+	r.comm.deadlineEvents.Add(1)
+}
+
+// CountChecksumError records a corrupted-frame event.
+func (r *Recorder) CountChecksumError() {
+	if r == nil {
+		return
+	}
+	r.comm.checksumErrors.Add(1)
+}
+
+// Reset zeroes every counter (the level is kept).
+func (r *Recorder) Reset() {
+	if r == nil {
+		return
+	}
+	r.transforms.Store(0)
+	for i := range r.stages {
+		c := &r.stages[i]
+		c.calls.Store(0)
+		c.wallNs.Store(0)
+		c.busyNs.Store(0)
+		c.flops.Store(0)
+		c.workers.Store(0)
+	}
+	r.comm.messages.Store(0)
+	r.comm.bytes.Store(0)
+	r.comm.alltoalls.Store(0)
+	r.comm.alltoallBytes.Store(0)
+	r.comm.retransmits.Store(0)
+	r.comm.deadlineEvents.Store(0)
+	r.comm.checksumErrors.Store(0)
+}
+
+// StageSnapshot is the point-in-time copy of one stage's counters.
+type StageSnapshot struct {
+	Stage   Stage
+	Calls   int64
+	Wall    time.Duration
+	Busy    time.Duration
+	Workers int64
+	Flops   int64
+}
+
+// Occupancy is the worker utilization of the stage: busy time divided by
+// wall time times the worker span (1.0 = every worker busy for the whole
+// stage). Zero when timing was not recorded.
+func (s StageSnapshot) Occupancy() float64 {
+	if s.Wall <= 0 || s.Workers <= 0 {
+		return 0
+	}
+	return float64(s.Busy) / (float64(s.Wall) * float64(s.Workers))
+}
+
+// GFlopsPerSec is the stage's achieved rate from the FLOP estimate and
+// wall time (zero when timing was not recorded).
+func (s StageSnapshot) GFlopsPerSec() float64 {
+	if s.Wall <= 0 {
+		return 0
+	}
+	return float64(s.Flops) / s.Wall.Seconds() / 1e9
+}
+
+// CommSnapshot is the point-in-time copy of the communication counters.
+type CommSnapshot struct {
+	Messages       int64
+	Bytes          int64
+	Alltoalls      int64
+	AlltoallBytes  int64
+	Retransmits    int64
+	DeadlineEvents int64
+	ChecksumErrors int64
+}
+
+// Snapshot is a point-in-time copy of every counter.
+type Snapshot struct {
+	Level      Level
+	Transforms int64
+	Stages     [NumStages]StageSnapshot
+	Comm       CommSnapshot
+}
+
+// Snapshot copies the counters (zero value for nil).
+func (r *Recorder) Snapshot() Snapshot {
+	var s Snapshot
+	for i := range s.Stages {
+		s.Stages[i].Stage = Stage(i)
+	}
+	if r == nil {
+		return s
+	}
+	s.Level = Level(r.level.Load())
+	s.Transforms = r.transforms.Load()
+	for i := range r.stages {
+		c := &r.stages[i]
+		s.Stages[i] = StageSnapshot{
+			Stage:   Stage(i),
+			Calls:   c.calls.Load(),
+			Wall:    time.Duration(c.wallNs.Load()),
+			Busy:    time.Duration(c.busyNs.Load()),
+			Workers: c.workers.Load(),
+			Flops:   c.flops.Load(),
+		}
+	}
+	s.Comm = CommSnapshot{
+		Messages:       r.comm.messages.Load(),
+		Bytes:          r.comm.bytes.Load(),
+		Alltoalls:      r.comm.alltoalls.Load(),
+		AlltoallBytes:  r.comm.alltoallBytes.Load(),
+		Retransmits:    r.comm.retransmits.Load(),
+		DeadlineEvents: r.comm.deadlineEvents.Load(),
+		ChecksumErrors: r.comm.checksumErrors.Load(),
+	}
+	return s
+}

@@ -1,0 +1,88 @@
+package instrument
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WritePrometheus renders a snapshot in the Prometheus text exposition
+// format (version 0.0.4): `# TYPE` headers, counter names suffixed
+// `_total`, durations in seconds. labels are attached to every series;
+// the caller typically passes {"plan": key.String()} so several plans'
+// series coexist under one endpoint.
+func WritePrometheus(w io.Writer, prefix string, labels map[string]string, s Snapshot) {
+	if prefix == "" {
+		prefix = "soifft"
+	}
+	base := formatLabels(labels)
+	counter := func(name string, help string, v int64, extra string) {
+		fmt.Fprintf(w, "# TYPE %s_%s counter\n", prefix, name)
+		_ = help
+		fmt.Fprintf(w, "%s_%s%s %d\n", prefix, name, mergeLabels(base, extra), v)
+	}
+	counter("transforms_total", "completed transforms", s.Transforms, "")
+
+	fmt.Fprintf(w, "# TYPE %s_stage_seconds_total counter\n", prefix)
+	for _, st := range s.Stages {
+		fmt.Fprintf(w, "%s_stage_seconds_total%s %.9f\n",
+			prefix, mergeLabels(base, `stage="`+st.Stage.String()+`"`), st.Wall.Seconds())
+	}
+	fmt.Fprintf(w, "# TYPE %s_stage_busy_seconds_total counter\n", prefix)
+	for _, st := range s.Stages {
+		fmt.Fprintf(w, "%s_stage_busy_seconds_total%s %.9f\n",
+			prefix, mergeLabels(base, `stage="`+st.Stage.String()+`"`), st.Busy.Seconds())
+	}
+	fmt.Fprintf(w, "# TYPE %s_stage_calls_total counter\n", prefix)
+	for _, st := range s.Stages {
+		fmt.Fprintf(w, "%s_stage_calls_total%s %d\n",
+			prefix, mergeLabels(base, `stage="`+st.Stage.String()+`"`), st.Calls)
+	}
+	fmt.Fprintf(w, "# TYPE %s_stage_flops_total counter\n", prefix)
+	for _, st := range s.Stages {
+		fmt.Fprintf(w, "%s_stage_flops_total%s %d\n",
+			prefix, mergeLabels(base, `stage="`+st.Stage.String()+`"`), st.Flops)
+	}
+
+	counter("comm_messages_total", "", s.Comm.Messages, "")
+	counter("comm_bytes_total", "", s.Comm.Bytes, "")
+	counter("comm_alltoalls_total", "", s.Comm.Alltoalls, "")
+	counter("comm_alltoall_bytes_total", "", s.Comm.AlltoallBytes, "")
+	counter("comm_retransmits_total", "", s.Comm.Retransmits, "")
+	counter("comm_deadline_events_total", "", s.Comm.DeadlineEvents, "")
+	counter("comm_checksum_errors_total", "", s.Comm.ChecksumErrors, "")
+}
+
+// formatLabels renders a label map in sorted order without braces
+// ("k1=\"v1\",k2=\"v2\"").
+func formatLabels(labels map[string]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf("%s=%q", k, labels[k]))
+	}
+	return strings.Join(parts, ",")
+}
+
+// mergeLabels combines the base label set with series-specific labels
+// into a braced label block (empty string when both are empty).
+func mergeLabels(base, extra string) string {
+	switch {
+	case base == "" && extra == "":
+		return ""
+	case base == "":
+		return "{" + extra + "}"
+	case extra == "":
+		return "{" + base + "}"
+	default:
+		return "{" + base + "," + extra + "}"
+	}
+}

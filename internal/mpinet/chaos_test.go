@@ -12,7 +12,6 @@ import (
 	"fmt"
 	"net"
 	"sync"
-	"sync/atomic"
 	"testing"
 	"time"
 
@@ -337,8 +336,7 @@ func TestChaosOversizedFrameRejected(t *testing.T) {
 	a, b := net.Pipe()
 	defer a.Close()
 	defer b.Close()
-	var timeoutNs atomic.Int64
-	pe := newPeer(a, 1, &timeoutNs)
+	pe := newPeer(a, 1, &Proc{rank: 0, size: 2})
 	go pe.readLoop()
 
 	hdr := encodeFrame(0, nil) // valid magic + checksum, then poison the count
@@ -361,8 +359,7 @@ func TestChaosOversizedFrameRejected(t *testing.T) {
 func TestChaosSendFailsFastAfterWriterDeath(t *testing.T) {
 	a, b := net.Pipe()
 	defer a.Close()
-	var timeoutNs atomic.Int64
-	pe := newPeer(a, 1, &timeoutNs)
+	pe := newPeer(a, 1, &Proc{rank: 0, size: 2})
 	go pe.writeLoop()
 	_ = b.Close() // every write on a now fails
 

@@ -34,6 +34,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"soifft/internal/instrument"
 )
 
 // Node is a rank that has opened its listener but not yet met its peers.
@@ -173,7 +175,7 @@ func (n *Node) Connect(addrs []string) (*Proc, error) {
 	// Peers may not have opened their listeners yet (processes start in
 	// arbitrary order), so retry until the connect deadline.
 	for r := 0; r < n.rank; r++ {
-		conn, err := dialRetry(addrs[r], deadline, n.dialInterval)
+		conn, err := dialRetry(addrs[r], deadline, n.dialInterval, &p.stats.dialRetries)
 		if err != nil {
 			return nil, &PeerError{Rank: r, Addr: addrs[r],
 				Err: fmt.Errorf("rank %d gave up dialing after %v: %w", n.rank, n.connectTimeout, err)}
@@ -186,7 +188,7 @@ func (n *Node) Connect(addrs []string) (*Proc, error) {
 		if n.wrap != nil {
 			conn = n.wrap(r, conn)
 		}
-		p.peers[r] = newPeer(conn, r, &p.ioTimeoutNs)
+		p.peers[r] = newPeer(conn, r, p)
 	}
 	// Accept higher ranks, bounded by the same deadline.
 	if tl, ok := n.ln.(*net.TCPListener); ok {
@@ -210,7 +212,7 @@ func (n *Node) Connect(addrs []string) (*Proc, error) {
 		if n.wrap != nil {
 			conn = n.wrap(r, conn)
 		}
-		p.peers[r] = newPeer(conn, r, &p.ioTimeoutNs)
+		p.peers[r] = newPeer(conn, r, p)
 	}
 	_ = n.ln.Close()
 	for _, pe := range p.peers {
@@ -223,8 +225,8 @@ func (n *Node) Connect(addrs []string) (*Proc, error) {
 }
 
 // dialRetry dials with a fixed retry interval while peers are still
-// launching, giving up at the deadline.
-func dialRetry(addr string, deadline time.Time, interval time.Duration) (net.Conn, error) {
+// launching, giving up at the deadline; retries tick the given counter.
+func dialRetry(addr string, deadline time.Time, interval time.Duration, retries *atomic.Int64) (net.Conn, error) {
 	var lastErr error
 	for {
 		remaining := time.Until(deadline)
@@ -243,6 +245,7 @@ func dialRetry(addr string, deadline time.Time, interval time.Duration) (net.Con
 			return conn, nil
 		}
 		lastErr = err
+		retries.Add(1)
 		if time.Until(deadline) < interval {
 			return nil, lastErr
 		}
@@ -255,6 +258,84 @@ type Proc struct {
 	rank, size  int
 	peers       []*peer
 	ioTimeoutNs atomic.Int64
+	rec         atomic.Pointer[instrument.Recorder]
+	stats       netStats
+}
+
+// netStats is the transport's internal accumulator (atomic counters).
+type netStats struct {
+	framesSent, bytesSent         atomic.Int64
+	framesReceived, bytesReceived atomic.Int64
+	heartbeatsSent                atomic.Int64
+	dialRetries                   atomic.Int64
+	deadlineEvents                atomic.Int64
+	checksumErrors                atomic.Int64
+	linkFailures                  atomic.Int64
+}
+
+// NetStats is a point-in-time snapshot of a rank's wire activity since
+// Connect. Frame and byte counts cover data frames only (header plus
+// payload); keep-alives are reported separately as HeartbeatsSent.
+type NetStats struct {
+	// FramesSent/BytesSent count data frames this rank wrote.
+	FramesSent, BytesSent int64
+	// FramesReceived/BytesReceived count validated data frames read.
+	FramesReceived, BytesReceived int64
+	// HeartbeatsSent counts keep-alive frames written on idle links.
+	HeartbeatsSent int64
+	// DialRetries counts redials while the mesh formed.
+	DialRetries int64
+	// DeadlineEvents counts expired I/O deadlines (hung-peer detections).
+	DeadlineEvents int64
+	// ChecksumErrors counts frames rejected with CRC mismatches.
+	ChecksumErrors int64
+	// LinkFailures counts links declared dead (any cause).
+	LinkFailures int64
+}
+
+// Stats snapshots the transport counters.
+func (p *Proc) Stats() NetStats {
+	return NetStats{
+		FramesSent:     p.stats.framesSent.Load(),
+		BytesSent:      p.stats.bytesSent.Load(),
+		FramesReceived: p.stats.framesReceived.Load(),
+		BytesReceived:  p.stats.bytesReceived.Load(),
+		HeartbeatsSent: p.stats.heartbeatsSent.Load(),
+		DialRetries:    p.stats.dialRetries.Load(),
+		DeadlineEvents: p.stats.deadlineEvents.Load(),
+		ChecksumErrors: p.stats.checksumErrors.Load(),
+		LinkFailures:   p.stats.linkFailures.Load(),
+	}
+}
+
+// SetRecorder mirrors transport fault events (deadline expiries,
+// checksum rejections, dial retries) into an observability recorder, so
+// a plan's CommReport surfaces wire trouble alongside its own traffic
+// counts. Payload bytes are NOT mirrored — the distributed driver
+// already counts logical traffic at the Comm layer — only fault events.
+// nil detaches.
+func (p *Proc) SetRecorder(r *instrument.Recorder) {
+	p.rec.Store(r)
+	if r.On() {
+		for n := p.stats.dialRetries.Load(); n > 0; n-- {
+			r.CountRetransmit() // retries that happened before attach
+		}
+	}
+}
+
+// noteFailure books a dead link and classifies its cause into the fault
+// counters (and the attached recorder, if any).
+func (p *Proc) noteFailure(cause error) {
+	p.stats.linkFailures.Add(1)
+	rec := p.rec.Load()
+	switch {
+	case errors.Is(cause, ErrDeadline):
+		p.stats.deadlineEvents.Add(1)
+		rec.CountDeadline()
+	case errors.Is(cause, ErrChecksum):
+		p.stats.checksumErrors.Add(1)
+		rec.CountChecksumError()
+	}
 }
 
 // Rank returns this process's rank.
@@ -316,8 +397,18 @@ func (p *Proc) RecvC(from, tag int) []complex128 {
 	if from < 0 || from >= p.size || from == p.rank {
 		panic(fmt.Sprintf("mpinet: recv from invalid rank %d", from))
 	}
-	pkt, err := p.peers[from].box.get(p.IOTimeout())
+	pe := p.peers[from]
+	pkt, err := pe.box.get(p.IOTimeout())
 	if err != nil {
+		select {
+		case <-pe.dead:
+			// The link's own failure was already booked by noteFailure.
+		default:
+			if errors.Is(err, ErrDeadline) {
+				p.stats.deadlineEvents.Add(1)
+				p.rec.Load().CountDeadline()
+			}
+		}
 		panic(&TransportError{Rank: from, Op: "recv", Err: err})
 	}
 	if pkt.tag != tag {
@@ -458,11 +549,11 @@ type packet struct {
 }
 
 type peer struct {
-	rank      int
-	conn      net.Conn
-	out       chan []byte
-	box       *netMailbox
-	timeoutNs *atomic.Int64
+	rank int
+	conn net.Conn
+	out  chan []byte
+	box  *netMailbox
+	pr   *Proc // back-reference for the I/O deadline and wire counters
 
 	closeOnce sync.Once
 	drained   chan struct{} // closed when writeLoop has exited
@@ -472,20 +563,20 @@ type peer struct {
 	dead     chan struct{} // closed once the link has failed
 }
 
-func newPeer(conn net.Conn, rank int, timeoutNs *atomic.Int64) *peer {
+func newPeer(conn net.Conn, rank int, pr *Proc) *peer {
 	return &peer{
-		rank:      rank,
-		conn:      conn,
-		out:       make(chan []byte, 4096),
-		box:       newNetMailbox(),
-		timeoutNs: timeoutNs,
-		drained:   make(chan struct{}),
-		dead:      make(chan struct{}),
+		rank:    rank,
+		conn:    conn,
+		out:     make(chan []byte, 4096),
+		box:     newNetMailbox(),
+		pr:      pr,
+		drained: make(chan struct{}),
+		dead:    make(chan struct{}),
 	}
 }
 
 func (pe *peer) timeout() time.Duration {
-	return time.Duration(pe.timeoutNs.Load())
+	return time.Duration(pe.pr.ioTimeoutNs.Load())
 }
 
 // fail marks the link dead exactly once: it records the cause, wakes
@@ -494,6 +585,7 @@ func (pe *peer) timeout() time.Duration {
 func (pe *peer) fail(cause error) {
 	pe.failOnce.Do(func() {
 		pe.failErr = cause
+		pe.pr.noteFailure(cause)
 		close(pe.dead)
 		pe.box.kill(cause)
 		_ = pe.conn.Close()
@@ -594,8 +686,17 @@ func (pe *peer) writeLoop() {
 			}
 			return
 		}
+		if isHeartbeat(frame) {
+			pe.pr.stats.heartbeatsSent.Add(1)
+		} else {
+			pe.pr.stats.framesSent.Add(1)
+			pe.pr.stats.bytesSent.Add(int64(len(frame)))
+		}
 	}
 }
+
+// isHeartbeat identifies the shared keep-alive frame without decoding.
+func isHeartbeat(frame []byte) bool { return &frame[0] == &heartbeatFrame[0] }
 
 // readFull fills buf in deadline-refreshed chunks.
 func (pe *peer) readFull(buf []byte) error {
@@ -649,6 +750,8 @@ func (pe *peer) readLoop() {
 		if tag == tagHeartbeat {
 			continue
 		}
+		pe.pr.stats.framesReceived.Add(1)
+		pe.pr.stats.bytesReceived.Add(int64(frameHdrLen + len(raw)))
 		data := make([]complex128, count)
 		for i := range data {
 			re := math.Float64frombits(binary.LittleEndian.Uint64(raw[i*16:]))

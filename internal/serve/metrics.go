@@ -6,8 +6,11 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/pprof"
 	"sync/atomic"
 	"time"
+
+	"soifft"
 )
 
 // Metrics is the server's live instrumentation: monotonic counters
@@ -38,6 +41,7 @@ type Metrics struct {
 	queueDepth func() int64
 	cacheVars  func() map[string]any
 	healthy    func() bool
+	plans      func() []soifft.CachedPlan
 }
 
 var batchBucketNames = [5]string{"1", "2-3", "4-7", "8-15", "16+"}
@@ -174,7 +178,47 @@ func (m *Metrics) Handler() http.Handler {
 		}
 		fmt.Fprintln(w, "ok")
 	})
+	mux.HandleFunc("/metrics", m.writePrometheus)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
+}
+
+// writePrometheus serves /metrics: the server's own counters as
+// soiserve_* series, then — when the owning server instruments its plans
+// — every resident plan's pipeline counters as soifft_* series labelled
+// with the plan's canonical key.
+func (m *Metrics) writePrometheus(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	counter := func(name string, v int64) {
+		fmt.Fprintf(w, "# TYPE soiserve_%s counter\n", name)
+		fmt.Fprintf(w, "soiserve_%s %d\n", name, v)
+	}
+	gauge := func(name string, v int64) {
+		fmt.Fprintf(w, "# TYPE soiserve_%s gauge\n", name)
+		fmt.Fprintf(w, "soiserve_%s %d\n", name, v)
+	}
+	counter("requests_total", m.requests.Load())
+	counter("rejected_total", m.rejected.Load())
+	counter("drained_total", m.drained.Load())
+	counter("errors_total", m.errors.Load())
+	counter("bytes_in_total", m.bytesIn.Load())
+	counter("bytes_out_total", m.bytesOut.Load())
+	counter("batches_total", m.batches.Load())
+	counter("batched_jobs_total", m.batchJob.Load())
+	gauge("batch_size_max", m.maxBatch.Load())
+	gauge("uptime_seconds", int64(time.Since(m.start).Seconds()))
+	if m.queueDepth != nil {
+		gauge("queue_depth", m.queueDepth())
+	}
+	if m.plans != nil {
+		for _, cp := range m.plans() {
+			_ = cp.Plan.WriteMetrics(w, map[string]string{"plan": cp.Key.String()})
+		}
+	}
 }
 
 // countingReader counts bytes read into the metrics.

@@ -51,6 +51,11 @@ type Config struct {
 	// reading is disconnected rather than wedging the handler
 	// (0 = no limit).
 	WriteTimeout time.Duration
+	// Instrument selects the observability level attached to every plan
+	// the server builds or warms (default soifft.InstrumentOff). With it
+	// on, the debug endpoint's /metrics page exposes per-plan stage and
+	// communication counters in Prometheus text format.
+	Instrument soifft.InstrumentLevel
 	// Logf, when set, receives one line per connection-level event.
 	Logf func(format string, args ...any)
 }
@@ -151,6 +156,7 @@ func New(cfg Config) *Server {
 	}
 	s.metrics.queueDepth = s.queued.Load
 	s.metrics.cacheVars = s.cacheVars
+	s.metrics.plans = s.cache.Plans
 	s.metrics.healthy = func() bool {
 		s.mu.Lock()
 		defer s.mu.Unlock()
@@ -165,6 +171,20 @@ func New(cfg Config) *Server {
 
 // Cache exposes the server's plan cache (for wisdom warming at startup).
 func (s *Server) Cache() *soifft.PlanCache { return s.cache }
+
+// WarmWisdom loads one wisdom document into the cache and applies the
+// server's configured instrumentation level to the rebuilt plan, so
+// warmed plans report like built ones.
+func (s *Server) WarmWisdom(r io.Reader) (*soifft.Plan, error) {
+	p, err := s.cache.WarmWisdom(r)
+	if err != nil {
+		return nil, err
+	}
+	if s.cfg.Instrument > soifft.InstrumentOff {
+		p.Instrument(s.cfg.Instrument)
+	}
+	return p, nil
+}
 
 // Metrics exposes the server's live counters.
 func (s *Server) Metrics() *Metrics { return s.metrics }
@@ -377,6 +397,11 @@ func (s *Server) resolvePlan(req *Request) (*soifft.Plan, *Response) {
 		opts = append(opts, soifft.WithAccuracy(soifft.Accuracy(req.Accuracy)))
 	} else if req.Taps > 0 {
 		opts = append(opts, soifft.WithTaps(req.Taps))
+	}
+	if s.cfg.Instrument > soifft.InstrumentOff {
+		// Excluded from the cache key (it does not change the transform),
+		// so instrumented and plain requests share one plan.
+		opts = append(opts, soifft.WithInstrumentation(s.cfg.Instrument))
 	}
 	plan, _, err := s.cache.Get(req.N, opts...)
 	if err != nil {

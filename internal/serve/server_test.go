@@ -5,8 +5,10 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"math"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -402,5 +404,93 @@ func TestMetricsEndpoints(t *testing.T) {
 	}
 	if sv.PlanCache.Misses != 1 || len(sv.PlanCache.PerPlan) != 1 {
 		t.Errorf("plan cache vars: %+v", sv.PlanCache)
+	}
+}
+
+// TestPrometheusEndpoint scrapes /metrics on an instrumented server:
+// the soiserve_* counters must reflect the request, and the resolved
+// plan's own soifft_* pipeline counters must appear under its key label.
+func TestPrometheusEndpoint(t *testing.T) {
+	const n = 512
+	s := startServer(t, serve.Config{
+		MaxLinger:  time.Millisecond,
+		Instrument: soifft.InstrumentCounters,
+	})
+	c := dial(t, s)
+	if _, err := c.Transform(signal.Random(n, 1), &client.Options{Segments: 4, Taps: 24}); err != nil {
+		t.Fatal(err)
+	}
+
+	ts := httptest.NewServer(s.Metrics().Handler())
+	defer ts.Close()
+	res, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	if res.StatusCode != 200 {
+		t.Fatalf("/metrics status %d", res.StatusCode)
+	}
+	raw, err := io.ReadAll(res.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+	for _, want := range []string{
+		"soiserve_requests_total 1",
+		"# TYPE soiserve_requests_total counter",
+		"soiserve_queue_depth",
+		`soifft_transforms_total{plan="n=512 p=4 mu=5 nu=4 b=24 win=auto"} 1`,
+		`soifft_stage_calls_total{plan="n=512 p=4 mu=5 nu=4 b=24 win=auto",stage="convolve"} 1`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q\n---\n%s", want, body)
+		}
+	}
+
+	// pprof must be mounted on the same mux.
+	res, err = ts.Client().Get(ts.URL + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if res.StatusCode != 200 {
+		t.Errorf("/debug/pprof/cmdline status %d", res.StatusCode)
+	}
+}
+
+// TestClientContext: a context cancelled before the request returns the
+// context's error without poisoning the connection (nothing was sent),
+// and the context-aware verbs work when the context is live.
+func TestClientContext(t *testing.T) {
+	const n = 512
+	s := startServer(t, serve.Config{MaxLinger: time.Millisecond})
+	c := dial(t, s)
+	opt := &client.Options{Segments: 4, Taps: 24}
+	src := signal.Random(n, 1)
+
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.TransformContext(cancelled, src, opt); err != context.Canceled {
+		t.Errorf("pre-cancelled TransformContext: %v, want context.Canceled", err)
+	}
+	if err := c.PingContext(cancelled); err != context.Canceled {
+		t.Errorf("pre-cancelled PingContext: %v, want context.Canceled", err)
+	}
+
+	// The connection never carried the cancelled request, so it still works.
+	if err := c.PingContext(context.Background()); err != nil {
+		t.Fatalf("ping after cancelled request: %v", err)
+	}
+	got, err := c.TransformContext(context.Background(), src, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := soifft.FFT(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re := relErr(got, ref); re > 1e-3 {
+		t.Errorf("TransformContext answer off: rel err %g", re)
 	}
 }

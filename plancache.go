@@ -221,6 +221,29 @@ func (c *PlanCache) WarmWisdom(r io.Reader) (*Plan, error) {
 	return p, nil
 }
 
+// CachedPlan pairs a resident plan with its canonical key.
+type CachedPlan struct {
+	Key  PlanKey
+	Plan *Plan
+}
+
+// Plans returns the resident plans, most recently used first — the
+// enumeration observability endpoints use to render every plan's
+// Report under its key. The slice is a snapshot; the plans are the live
+// cached instances.
+func (c *PlanCache) Plans() []CachedPlan {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]CachedPlan, 0, c.lru.Len())
+	for el := c.lru.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*cacheEntry)
+		if e.plan != nil {
+			out = append(out, CachedPlan{Key: e.key, Plan: e.plan})
+		}
+	}
+	return out
+}
+
 // Stats snapshots the cache counters.
 func (c *PlanCache) Stats() CacheStats {
 	c.mu.Lock()

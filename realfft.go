@@ -1,0 +1,103 @@
+package soifft
+
+import (
+	"fmt"
+	"sync"
+
+	"soifft/internal/fft"
+)
+
+// RFFT computes the DFT of a real-valued sequence of even length n,
+// returning the non-redundant half spectrum: n/2+1 complex bins
+// X[0..n/2]. Real input implies Hermitian (conjugate) symmetry,
+// X[n−k] = conj(X[k]), so the remaining bins carry no information;
+// X[0] and X[n/2] (DC and Nyquist) are purely real. It costs one
+// complex transform of length n/2 plus an O(n) untangling pass —
+// roughly half a full complex FFT.
+func RFFT(x []float64) ([]complex128, error) {
+	p, err := NewRealPlan(len(x))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]complex128, len(x)/2+1)
+	if err := p.Forward(out, x); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// IRFFT inverts RFFT: given the half spectrum X[0..n/2] (n/2+1 bins,
+// Hermitian layout — the caller supplies only the non-redundant half,
+// with X[0] and X[n/2] real), it returns the length-n real sequence,
+// scaled so IRFFT(RFFT(x)) == x. The imaginary parts of spec[0] and
+// spec[n/2] are ignored.
+func IRFFT(spec []complex128) ([]float64, error) {
+	if len(spec) < 2 {
+		return nil, fmt.Errorf("soifft: half spectrum needs at least 2 bins, got %d: %w", len(spec), ErrLength)
+	}
+	n := (len(spec) - 1) * 2
+	p, err := NewRealPlan(n)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, n)
+	if err := p.Inverse(out, spec); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// RealPlan is a reusable plan for real-input transforms of one even
+// length; it is safe for concurrent use. For one-off transforms RFFT and
+// IRFFT are simpler (they fetch a cached plan internally).
+type RealPlan struct {
+	inner *fft.RealPlan
+}
+
+// NewRealPlan returns a cached real-input plan for even length n ≥ 2.
+// Plans are immutable and shared: repeated calls with the same n return
+// the same plan, so per-call cost after the first is a map lookup.
+func NewRealPlan(n int) (*RealPlan, error) {
+	if n < 2 || n%2 != 0 {
+		return nil, fmt.Errorf("soifft: real transform needs even length >= 2, got %d: %w", n, ErrLength)
+	}
+	if p, ok := realPlans.Load(n); ok {
+		return p.(*RealPlan), nil
+	}
+	inner, err := fft.NewRealPlan(n)
+	if err != nil {
+		return nil, err
+	}
+	p, _ := realPlans.LoadOrStore(n, &RealPlan{inner: inner})
+	return p.(*RealPlan), nil
+}
+
+// realPlans caches real-input plans by length (plans are immutable).
+var realPlans sync.Map
+
+// N returns the real transform length.
+func (p *RealPlan) N() int { return p.inner.N() }
+
+// Forward writes the half spectrum of src into dst: len(src) must be N
+// and len(dst) N/2+1 (layout as documented on RFFT).
+func (p *RealPlan) Forward(dst []complex128, src []float64) error {
+	n := p.inner.N()
+	if len(src) != n || len(dst) != n/2+1 {
+		return fmt.Errorf("soifft: real forward needs src %d dst %d, got %d/%d: %w",
+			n, n/2+1, len(src), len(dst), ErrLength)
+	}
+	p.inner.Forward(dst, src)
+	return nil
+}
+
+// Inverse reconstructs the real sequence from its half spectrum, scaled
+// by 1/N: len(src) must be N/2+1 and len(dst) N.
+func (p *RealPlan) Inverse(dst []float64, src []complex128) error {
+	n := p.inner.N()
+	if len(dst) != n || len(src) != n/2+1 {
+		return fmt.Errorf("soifft: real inverse needs src %d dst %d, got %d/%d: %w",
+			n/2+1, n, len(src), len(dst), ErrLength)
+	}
+	p.inner.Inverse(dst, src)
+	return nil
+}

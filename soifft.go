@@ -24,11 +24,13 @@
 package soifft
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"soifft/internal/core"
 	"soifft/internal/fft"
+	"soifft/internal/instrument"
 	"soifft/internal/window"
 )
 
@@ -60,13 +62,14 @@ func (a Accuracy) String() string { return a.preset().Name }
 type Option func(*options)
 
 type options struct {
-	segments int
-	mu, nu   int
-	taps     int
-	accuracy Accuracy
-	workers  int
-	useAcc   bool
-	family   WindowFamily
+	segments   int
+	mu, nu     int
+	taps       int
+	accuracy   Accuracy
+	workers    int
+	useAcc     bool
+	family     WindowFamily
+	instrument InstrumentLevel
 }
 
 // WindowFamily selects the reference window family used to build the
@@ -154,6 +157,7 @@ func NewPlan(n int, opts ...Option) (*Plan, error) {
 	if err != nil {
 		return nil, err
 	}
+	inner.SetRecorder(instrument.New(instrument.Level(o.instrument)))
 	return &Plan{inner: inner}, nil
 }
 
@@ -216,8 +220,64 @@ func (p *Plan) Inverse(dst, src []complex128) error {
 	return p.inner.InverseTransform(dst, src)
 }
 
-// Internal returns the underlying core plan for advanced use (benchmark
-// harnesses, phase timing).
+// Config is an immutable snapshot of a plan's resolved parameters —
+// everything NewPlan decided, including defaults it filled in and the
+// window it designed. Use it instead of reaching into internals.
+type Config struct {
+	// N is the transform length.
+	N int
+	// Segments is the segment count P; SegmentLen = N/P.
+	Segments   int
+	SegmentLen int
+	// OversampledLen is M' = (1+β)·SegmentLen, the per-segment working
+	// length; OversampledLen·Segments points cross the all-to-all.
+	OversampledLen int
+	// Mu/Nu is the oversampling ratio in lowest terms; Beta = Mu/Nu − 1.
+	Mu, Nu int
+	Beta   float64
+	// Taps is the convolution tap count B (possibly shrunk from the
+	// requested value for short segments).
+	Taps int
+	// Window names the resolved reference window family ("tau-sigma",
+	// "gaussian", "kaiser-bessel", "compact-bump", or the window's own
+	// description for custom windows).
+	Window string
+	// Workers bounds shared-memory parallelism (0 = GOMAXPROCS).
+	Workers int
+	// PredictedDigits estimates the decimal digits of accuracy from the
+	// window metrics (paper Section 4).
+	PredictedDigits float64
+}
+
+// Config returns the plan's resolved parameter snapshot.
+func (p *Plan) Config() Config {
+	prm := p.inner.Params()
+	name := prm.Win.String()
+	if ref, err := windowRefOf(prm.Win); err == nil {
+		name = ref.Family
+	}
+	return Config{
+		N:               prm.N,
+		Segments:        prm.P,
+		SegmentLen:      p.inner.M(),
+		OversampledLen:  p.inner.MPrime(),
+		Mu:              prm.Mu,
+		Nu:              prm.Nu,
+		Beta:            prm.Beta(),
+		Taps:            prm.B,
+		Window:          name,
+		Workers:         prm.Workers,
+		PredictedDigits: p.inner.Metrics().Digits(),
+	}
+}
+
+// Internal returns the underlying core plan.
+//
+// Deprecated: the typed accessors cover what this leaked — use Config
+// for parameters, Report for per-stage timing and communication
+// counters, and TransformContext/TransformSegmentContext for execution.
+// Internal remains only so existing harnesses keep compiling; it will be
+// removed in v2.
 func (p *Plan) Internal() *core.Plan { return p.inner }
 
 // buildFamilyWindow designs a window of the requested family for (B, β).
@@ -266,17 +326,7 @@ func Validate(n int, opts ...Option) error {
 // Plans are safe for concurrent use, so batches may also be split across
 // goroutines by the caller.
 func (p *Plan) TransformBatch(dst, src []complex128, count int) error {
-	n := p.N()
-	if count < 0 || len(dst) < count*n || len(src) < count*n {
-		return fmt.Errorf("soifft: batch of %d x %d needs %d elements, got dst %d src %d",
-			count, n, count*n, len(dst), len(src))
-	}
-	for i := 0; i < count; i++ {
-		if err := p.inner.Transform(dst[i*n:(i+1)*n], src[i*n:(i+1)*n]); err != nil {
-			return err
-		}
-	}
-	return nil
+	return p.TransformBatchContext(context.Background(), dst, src, count)
 }
 
 // SelfTest runs a quick built-in accuracy check: it transforms a random
