@@ -7,6 +7,7 @@ package soifft
 // `go run ./cmd/soibench` prints the same data as tables.
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -248,6 +249,39 @@ func BenchmarkObservability(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if err := plan.Transform(dst, src); err != nil {
+					b.Fatal(err)
+				}
+			}
+			reportGFLOPS(b, 5*float64(n)*math.Log2(float64(n)))
+		})
+	}
+
+	// Event-tracing rows: "tracer-off" is the disabled path (context
+	// plumbed, no tracer anywhere — must price like plain; the ≤2% CI
+	// guard compares these two), "tracer-on" records every stage span
+	// into the ring.
+	tracerRuns := []struct {
+		name string
+		ctx  func() context.Context
+	}{
+		{"tracer-off", context.Background},
+		{"tracer-on", func() context.Context {
+			return WithTracer(WithTraceID(context.Background(), NewTraceID()), NewTracer(0))
+		}},
+	}
+	for _, tc := range tracerRuns {
+		b.Run(tc.name, func(b *testing.B) {
+			plan, err := NewPlan(n)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ctx := tc.ctx()
+			src := signal.Random(n, 4)
+			dst := make([]complex128, n)
+			b.SetBytes(int64(n) * 16)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := plan.TransformContext(ctx, dst, src); err != nil {
 					b.Fatal(err)
 				}
 			}

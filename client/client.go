@@ -14,6 +14,7 @@ import (
 
 	"soifft"
 	"soifft/internal/serve"
+	"soifft/internal/trace"
 )
 
 // Options name the plan a request should execute under. The zero value
@@ -152,7 +153,10 @@ func (c *Client) PingContext(ctx context.Context) error {
 }
 
 func (c *Client) transform(ctx context.Context, op serve.Op, data []complex128, opt *Options) ([]complex128, error) {
-	req := &serve.Request{Op: op, N: len(data), Data: data}
+	// A trace ID on the context (soifft.WithTraceID) rides the v2
+	// request header, so the server's spans for this request join the
+	// caller's timeline.
+	req := &serve.Request{Op: op, N: len(data), Data: data, TraceID: uint64(trace.IDFrom(ctx))}
 	opt.fill(req)
 	return c.doCtx(ctx, req)
 }

@@ -29,8 +29,46 @@ func main() {
 	asCSV := flag.Bool("csv", false, "emit tables as CSV instead of aligned text")
 	measureN := flag.Int("measure-points", 1<<18, "points per rank for the real in-process runs")
 	report := flag.Bool("report", false, "run an instrumented distributed transform and print the observability report (stage timings, measured vs predicted comm volume), then exit")
-	ranks := flag.Int("ranks", 4, "in-process ranks for -report")
+	ranks := flag.Int("ranks", 4, "in-process ranks for -report, -trace and -bench-json")
+	traceOut := flag.String("trace", "", "run one traced distributed transform and write its Perfetto timeline JSON here (open in ui.perfetto.dev), then exit")
+	benchJSON := flag.String("bench-json", "", "measure distributed transforms across sizes and write a machine-readable summary here (e.g. BENCH_soi.json), then exit")
 	flag.Parse()
+
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fail(err)
+		}
+		err = bench.TracedRun(f, *measureN, *ranks, 8, 72)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("trace written to %s (N=%d, %d ranks)\n", *traceOut, *measureN, *ranks)
+		return
+	}
+
+	if *benchJSON != "" {
+		rep, err := bench.JSONReport([]int{1 << 14, 1 << 16, 1 << 18}, *ranks, 8, 72)
+		if err != nil {
+			fail(err)
+		}
+		f, err := os.Create(*benchJSON)
+		if err != nil {
+			fail(err)
+		}
+		err = rep.WriteJSON(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("benchmark summary written to %s (%d sizes, %d ranks)\n", *benchJSON, len(rep.Runs), *ranks)
+		return
+	}
 
 	if *report {
 		t, err := bench.ObservabilityReport(*measureN, *ranks, 8, 72)

@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"encoding/binary"
 	"flag"
 	"fmt"
@@ -38,6 +39,7 @@ func main() {
 	wisdomIn := flag.String("wisdom-in", "", "load the plan from a wisdom file")
 	wisdomOut := flag.String("wisdom-out", "", "save the plan's wisdom after planning")
 	report := flag.Bool("report", false, "arm stage timers and print the plan's observability report after the transform")
+	traceOut := flag.String("trace", "", "write a Perfetto trace JSON of the transform's pipeline stages here (open in ui.perfetto.dev)")
 	flag.Parse()
 
 	src, err := loadInput(*inFile, *n, *sig)
@@ -68,6 +70,13 @@ func main() {
 	fmt.Printf("SOI plan: N=%d P=%d B=%d beta=%.3g predicted digits=%.1f\n",
 		plan.N(), plan.Segments(), plan.Taps(), plan.Oversampling(), plan.PredictedDigits())
 
+	ctx := context.Background()
+	var tracer *soifft.Tracer
+	if *traceOut != "" {
+		tracer = soifft.NewTracer(0)
+		ctx = soifft.WithTracer(soifft.WithTraceID(ctx, soifft.NewTraceID()), tracer)
+	}
+
 	got := make([]complex128, len(src))
 	start := time.Now()
 	switch {
@@ -77,9 +86,9 @@ func main() {
 			fail(err)
 		}
 		if *inverse {
-			err = plan.InverseDistributed(w, got, src)
+			err = plan.InverseDistributedContext(ctx, w, got, src)
 		} else {
-			err = plan.TransformDistributed(w, got, src)
+			err = plan.TransformDistributedContext(ctx, w, got, src)
 		}
 		if err != nil {
 			fail(err)
@@ -89,15 +98,30 @@ func main() {
 		fmt.Printf("communication: %d all-to-all(s), %.2f MB exchanged, %d messages, %.2f MB total wire\n",
 			st.Alltoalls, float64(st.AlltoallBytes)/1e6, st.Messages, float64(st.Bytes)/1e6)
 	case *inverse:
-		if err := plan.Inverse(got, src); err != nil {
+		if err := plan.InverseContext(ctx, got, src); err != nil {
 			fail(err)
 		}
 		fmt.Printf("shared-memory inverse in %v\n", time.Since(start))
 	default:
-		if err := plan.Transform(got, src); err != nil {
+		if err := plan.TransformContext(ctx, got, src); err != nil {
 			fail(err)
 		}
 		fmt.Printf("shared-memory transform in %v\n", time.Since(start))
+	}
+
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fail(err)
+		}
+		werr := tracer.WritePerfetto(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fail(werr)
+		}
+		fmt.Printf("trace written to %s\n", *traceOut)
 	}
 
 	var ref []complex128

@@ -17,12 +17,21 @@
 // rank's links for live chaos drills, e.g.
 //
 //	soinode ... -io-timeout 5s -fault-plan seed=42,corrupt=0.001,latency=1ms
+//
+// With -trace-out each rank records an event timeline of its pipeline
+// stages (rank 0 mints the trace ID and broadcasts it over the wire, so
+// every rank's spans share it) and writes a Perfetto JSON file on exit;
+// stitch the per-rank files with `soitrace merge`. -flight-dir arms the
+// flight recorder: a typed transport fault dumps the last ~64k events
+// to a timestamped file there before the process exits.
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"os"
 	"strings"
@@ -33,9 +42,11 @@ import (
 	"soifft/internal/faultnet"
 	"soifft/internal/fft"
 	"soifft/internal/instrument"
+	"soifft/internal/logutil"
 	"soifft/internal/mpinet"
 	"soifft/internal/perfmodel"
 	"soifft/internal/signal"
+	"soifft/internal/trace"
 )
 
 func main() {
@@ -55,34 +66,46 @@ func main() {
 		"faultnet chaos plan injected into this rank's links, e.g. seed=42,corrupt=0.001,latency=1ms (see internal/faultnet)")
 	report := flag.Bool("report", false,
 		"arm stage timers and print this rank's observability report after the transform: per-stage timings, comm counters, and the measured-vs-predicted communication ratio")
+	traceOut := flag.String("trace-out", "",
+		"write this rank's Perfetto trace JSON here (rank 0 mints the trace ID and broadcasts it, so per-rank files merge into one timeline with `soitrace merge`)")
+	flightDir := flag.String("flight-dir", "",
+		"dump the event ring to a timestamped Perfetto file in this directory when a typed transport fault kills the run (implies tracing)")
+	logLevel := flag.String("log-level", "info", "log verbosity: debug|info|warn|error")
+	logFormat := flag.String("log-format", "text", "log encoding: text|json")
 	flag.Parse()
+
+	logger, err := logutil.New(os.Stderr, *logFormat, *logLevel)
+	if err != nil {
+		failPlain(err)
+	}
+	log := logger.With("rank", *rank)
 
 	addrs := strings.Split(*peers, ",")
 	node, err := mpinet.NewNode(*rank, *size, *listen)
 	if err != nil {
-		fail(err)
+		fail(log, err)
 	}
 	node.SetConnectTimeout(*connectTimeout)
 	if *faultPlan != "" {
 		plan, err := faultnet.ParsePlan(*faultPlan)
 		if err != nil {
-			fail(err)
+			fail(log, err)
 		}
 		self := *rank
 		node.SetConnWrapper(func(peerRank int, c net.Conn) net.Conn {
 			return plan.Conn(c, faultnet.LinkID(self, peerRank))
 		})
-		fmt.Printf("rank %d: chaos drill armed: %s\n", *rank, plan)
+		log.Info("chaos drill armed", "plan", plan.String())
 	}
-	fmt.Printf("rank %d/%d listening on %s\n", *rank, *size, node.Addr())
+	log.Info("listening", "size", *size, "addr", node.Addr())
 	proc, err := node.Connect(addrs)
 	if err != nil {
 		var pe *mpinet.PeerError
 		if errors.As(err, &pe) {
-			fail(fmt.Errorf("%w\npeer rank %d never appeared at %s within %v — check that every rank is running and -peers lists the same addresses in rank order",
+			fail(log, fmt.Errorf("%w\npeer rank %d never appeared at %s within %v — check that every rank is running and -peers lists the same addresses in rank order",
 				err, pe.Rank, pe.Addr, *connectTimeout))
 		}
-		fail(err)
+		fail(log, err)
 	}
 	defer proc.Close()
 	proc.SetIOTimeout(*ioTimeout)
@@ -91,44 +114,88 @@ func main() {
 		N: *n, P: *segments, Mu: 5, Nu: 4, B: *taps,
 	})
 	if err != nil {
-		fail(err)
+		fail(log, err)
 	}
 	if err := plan.ValidateDistributed(*size); err != nil {
-		fail(err)
+		fail(log, err)
 	}
 	if *report {
 		plan.SetRecorder(instrument.New(instrument.LevelTimers))
 		proc.SetRecorder(plan.Recorder())
 	}
 
+	// Tracing: every rank records into its own ring; the trace ID is
+	// minted once on rank 0 and broadcast as a control frame so the
+	// per-rank timelines correlate.
+	var tracer *trace.Tracer
+	var tid trace.ID
+	ctx := context.Background()
+	if *traceOut != "" || *flightDir != "" {
+		tracer = trace.New(0)
+		proc.SetTracer(tracer)
+		if *flightDir != "" {
+			tracer.SetFlightDir(*flightDir)
+		}
+		if *rank == 0 {
+			tid = trace.NewID()
+		}
+		if err := core.GuardComm(func() { tid = proc.ShareTraceID(tid) }); err != nil {
+			fail(log, err)
+		}
+		ctx = trace.WithTracer(trace.WithID(ctx, tid), tracer)
+		log = log.With("trace_id", tid.String())
+		log.Info("tracing armed", "out", *traceOut, "flight_dir", *flightDir)
+	}
+
 	src := signal.Random(*n, *seed)
 	nLocal := *n / *size
 	out := make([]complex128, nLocal)
 	if err := core.GuardComm(proc.Barrier); err != nil {
-		fail(err)
+		fail(log, err)
 	}
+	// The sync instant lands right after a barrier, so every rank emits
+	// it at (nearly) the same wall-clock moment; `soitrace merge` aligns
+	// the per-rank files on it.
+	tracer.Sync(tid, *rank)
 	t0 := time.Now()
-	dt, err := plan.RunDistributed(proc, out, src[*rank*nLocal:(*rank+1)*nLocal])
+	dt, err := plan.RunDistributedContext(ctx, proc, out, src[*rank*nLocal:(*rank+1)*nLocal])
 	if err != nil {
-		fail(err)
+		fail(log, err)
 	}
-	fmt.Printf("rank %d: transform in %v (halo %v, conv %v, exchange %v, segments %v)\n",
-		*rank, time.Since(t0), dt.Halo, dt.Convolve, dt.Exchange, dt.SegmentFT)
+	log.Info("transform done", "elapsed", time.Since(t0).String(),
+		"halo", dt.Halo.String(), "convolve", dt.Convolve.String(),
+		"exchange", dt.Exchange.String(), "segment_fft", dt.SegmentFT.String())
 
 	var full []complex128
 	if err := core.GuardComm(func() { full = proc.Gather(0, out) }); err != nil {
-		fail(err)
+		fail(log, err)
 	}
 	if *rank == 0 {
 		ref, err := fft.Forward(src)
 		if err != nil {
-			fail(err)
+			fail(log, err)
 		}
-		fmt.Printf("rank 0: gathered %d points; rel err vs conventional FFT %.3e (SNR %.0f dB)\n",
-			len(full), signal.RelErrL2(full, ref), signal.SNRdB(full, ref))
+		log.Info("gathered spectrum", "points", len(full),
+			"rel_err", fmt.Sprintf("%.3e", signal.RelErrL2(full, ref)),
+			"snr_db", fmt.Sprintf("%.0f", signal.SNRdB(full, ref)))
 	}
 	if err := core.GuardComm(proc.Barrier); err != nil {
-		fail(err)
+		fail(log, err)
+	}
+
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fail(log, err)
+		}
+		werr := tracer.WritePerfetto(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fail(log, fmt.Errorf("writing trace: %w", werr))
+		}
+		log.Info("trace written", "path", *traceOut, "events", tracer.Len())
 	}
 
 	if *report {
@@ -152,15 +219,21 @@ func main() {
 }
 
 // fail exits non-zero; a typed transport fault names the failed peer and
-// operation on its own line so operators can see at a glance which rank
-// to investigate.
-func fail(err error) {
+// operation in its own structured record so operators can see at a
+// glance which rank to investigate.
+func fail(log *slog.Logger, err error) {
 	var te *mpinet.TransportError
 	if errors.As(err, &te) {
-		fmt.Fprintf(os.Stderr, "soinode: transport failure: peer rank %d, op %s: %v\n",
-			te.Rank, te.Op, te.Err)
+		log.Error("transport failure", "peer", te.Rank, "op", te.Op, "err", te.Err.Error())
 		os.Exit(1)
 	}
+	log.Error("fatal", "err", err.Error())
+	os.Exit(1)
+}
+
+// failPlain reports errors hit before the logger exists (bad -log-*
+// flags).
+func failPlain(err error) {
 	fmt.Fprintln(os.Stderr, "soinode:", err)
 	os.Exit(1)
 }

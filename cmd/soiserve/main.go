@@ -30,8 +30,10 @@ import (
 
 	"soifft"
 	"soifft/client"
+	"soifft/internal/logutil"
 	"soifft/internal/serve"
 	sig "soifft/internal/signal"
+	"soifft/internal/trace"
 )
 
 func main() {
@@ -68,11 +70,23 @@ func runServe(args []string) {
 	idleTimeout := fs.Duration("idle-timeout", 5*time.Minute, "disconnect clients idle longer than this (0 = never)")
 	writeTimeout := fs.Duration("write-timeout", 30*time.Second, "disconnect clients that stall reading a response (0 = never)")
 	instrument := fs.String("instrument", "off", "per-plan pipeline instrumentation: off|counters|timers (exported on /metrics)")
+	logLevel := fs.String("log-level", "info", "log verbosity: debug|info|warn|error")
+	logFormat := fs.String("log-format", "text", "log encoding: text|json")
+	traceOn := fs.Bool("trace", false, "record per-request timelines into the in-memory flight ring (export on /debug/flight)")
+	flightDir := fs.String("flight-dir", "", "dump the flight ring to Perfetto JSON files here on typed faults (implies -trace)")
 	_ = fs.Parse(args)
 
 	level, err := parseInstrument(*instrument)
 	if err != nil {
 		fail(err)
+	}
+	logger, err := logutil.New(os.Stderr, *logFormat, *logLevel)
+	if err != nil {
+		fail(err)
+	}
+	var tracer *trace.Tracer
+	if *traceOn || *flightDir != "" {
+		tracer = trace.New(0)
 	}
 
 	s := serve.New(serve.Config{
@@ -80,7 +94,9 @@ func runServe(args []string) {
 		MaxBatch: *maxBatch, MaxLinger: *linger, QueueDepth: *queue,
 		MaxN: *maxN, IdleTimeout: *idleTimeout, WriteTimeout: *writeTimeout,
 		Instrument: level,
-		Logf:       func(format string, a ...any) { fmt.Fprintf(os.Stderr, format+"\n", a...) },
+		Logger:     logger,
+		Tracer:     tracer,
+		FlightDir:  *flightDir,
 	})
 
 	if *wisdom != "" {
@@ -94,24 +110,25 @@ func runServe(args []string) {
 			if err != nil {
 				fail(fmt.Errorf("warming from %s: %w", path, err))
 			}
-			fmt.Printf("soiserve: warmed %v (predicted digits %.1f)\n", p.Key(), p.PredictedDigits())
+			logger.Info("plan warmed", "key", p.Key().String(), "predicted_digits", p.PredictedDigits())
 		}
 	}
 
 	if err := s.Listen(); err != nil {
 		fail(err)
 	}
-	fmt.Printf("soiserve: listening on %s\n", s.Addr())
+	logger.Info("listening", "addr", s.Addr().String(), "tracing", tracer.Enabled())
 
 	if *metricsAddr != "" {
 		ms := &http.Server{Addr: *metricsAddr, Handler: s.Metrics().Handler()}
 		go func() {
 			if err := ms.ListenAndServe(); err != nil && err != http.ErrServerClosed {
-				fmt.Fprintln(os.Stderr, "soiserve: metrics:", err)
+				logger.Error("metrics listener failed", "err", err)
 			}
 		}()
 		defer ms.Close()
-		fmt.Printf("soiserve: metrics on http://%s/debug/vars (Prometheus: /metrics, profiles: /debug/pprof/)\n", *metricsAddr)
+		logger.Info("metrics serving", "addr", *metricsAddr,
+			"endpoints", "/debug/vars /metrics /debug/flight /debug/pprof/")
 	}
 
 	sigCh := make(chan os.Signal, 1)
@@ -125,7 +142,7 @@ func runServe(args []string) {
 			fail(err)
 		}
 	case got := <-sigCh:
-		fmt.Printf("soiserve: %v — draining\n", got)
+		logger.Info("draining", "signal", got.String())
 		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 		defer cancel()
 		if err := s.Shutdown(ctx); err != nil {
@@ -134,7 +151,7 @@ func runServe(args []string) {
 		if err := <-serveDone; err != nil {
 			fail(err)
 		}
-		fmt.Println("soiserve: drained, exiting")
+		logger.Info("drained, exiting")
 	}
 }
 

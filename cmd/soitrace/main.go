@@ -1,0 +1,70 @@
+// Command soitrace post-processes Perfetto trace files written by the
+// tracing layer (soinode -trace-out, soibench -trace, soiserve's
+// /debug/flight).
+//
+//	soitrace merge -o merged.json rank0.json rank1.json rank2.json
+//
+// stitches per-process files into one timeline: each rank's events keep
+// their track, and clocks are re-based on the sync instant every rank
+// emits right after the start-of-run barrier, so spans line up even
+// though the processes sampled different monotonic clocks. Open the
+// result in https://ui.perfetto.dev.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"soifft"
+)
+
+func main() {
+	if len(os.Args) < 2 || os.Args[1] != "merge" {
+		fmt.Fprintln(os.Stderr, "usage: soitrace merge [-o out.json] trace1.json trace2.json ...")
+		os.Exit(2)
+	}
+	fs := flag.NewFlagSet("soitrace merge", flag.ExitOnError)
+	out := fs.String("o", "", "output file (default stdout)")
+	_ = fs.Parse(os.Args[2:])
+	paths := fs.Args()
+	if len(paths) == 0 {
+		fail(fmt.Errorf("no input traces given"))
+	}
+
+	inputs := make([]io.Reader, 0, len(paths))
+	for _, p := range paths {
+		f, err := os.Open(p)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		inputs = append(inputs, f)
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fail(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fail(err)
+			}
+		}()
+		w = f
+	}
+	if err := soifft.MergeTraces(w, inputs...); err != nil {
+		fail(err)
+	}
+	if *out != "" {
+		fmt.Fprintf(os.Stderr, "merged %d trace(s) into %s\n", len(paths), *out)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "soitrace:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,168 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"math"
+	"runtime"
+	"time"
+
+	"soifft/internal/core"
+	"soifft/internal/instrument"
+	"soifft/internal/mpi"
+	"soifft/internal/signal"
+	"soifft/internal/trace"
+)
+
+// BenchStage is one pipeline stage's share of a measured run.
+type BenchStage struct {
+	Stage  string  `json:"stage"`
+	Calls  int64   `json:"calls"`
+	WallNS int64   `json:"wall_ns"`
+	GFlops float64 `json:"gflops_per_sec"`
+}
+
+// BenchRun is one measured transform size: end-to-end ns/op, the
+// per-stage breakdown, and the wire volume the instrumented comm layer
+// counted.
+type BenchRun struct {
+	N             int          `json:"n"`
+	Ranks         int          `json:"ranks"`
+	Segments      int          `json:"segments"`
+	Taps          int          `json:"taps"`
+	NSPerOp       int64        `json:"ns_per_op"`
+	GFlopsPerSec  float64      `json:"gflops_per_sec"`
+	Stages        []BenchStage `json:"stages"`
+	CommBytes     int64        `json:"comm_bytes"`
+	AlltoallBytes int64        `json:"alltoall_bytes"`
+}
+
+// BenchReport is the machine-readable benchmark summary soibench
+// -bench-json writes (BENCH_soi.json): enough for a CI job or a plot
+// script to track regressions without scraping text tables.
+type BenchReport struct {
+	Schema    string     `json:"schema"`
+	GoVersion string     `json:"go_version"`
+	GOOS      string     `json:"goos"`
+	GOARCH    string     `json:"goarch"`
+	MaxProcs  int        `json:"gomaxprocs"`
+	Runs      []BenchRun `json:"runs"`
+}
+
+// JSONReport measures one distributed transform per size in ns (after
+// an untimed warm-up) with stage timers armed and collects the results.
+// The whole-transform GFlop/s uses the conventional 5·N·log2(N) flop
+// count, so the figure is comparable across plans and against dense FFT
+// libraries.
+func JSONReport(ns []int, ranks, segments, taps int) (*BenchReport, error) {
+	rep := &BenchReport{
+		Schema:    "soibench/v1",
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		MaxProcs:  runtime.GOMAXPROCS(0),
+	}
+	for _, n := range ns {
+		run, err := measureRun(n, ranks, segments, taps)
+		if err != nil {
+			return nil, err
+		}
+		rep.Runs = append(rep.Runs, run)
+	}
+	return rep, nil
+}
+
+func measureRun(n, ranks, segments, taps int) (BenchRun, error) {
+	run := BenchRun{N: n, Ranks: ranks, Segments: segments, Taps: taps}
+	pl, err := core.NewPlan(core.Params{N: n, P: segments, Mu: 5, Nu: 4, B: taps})
+	if err != nil {
+		return run, err
+	}
+	if err := pl.ValidateDistributed(ranks); err != nil {
+		return run, err
+	}
+	src := signal.Random(n, int64(n))
+	dst := make([]complex128, n)
+	nLocal := n / ranks
+	oneRun := func() error {
+		w, err := mpi.NewWorld(ranks)
+		if err != nil {
+			return err
+		}
+		return w.Run(func(c *mpi.Comm) error {
+			_, err := pl.RunDistributed(c,
+				dst[c.Rank()*nLocal:(c.Rank()+1)*nLocal],
+				src[c.Rank()*nLocal:(c.Rank()+1)*nLocal])
+			return err
+		})
+	}
+	if err := oneRun(); err != nil { // warm-up: plan twiddles, page-in
+		return run, err
+	}
+	pl.SetRecorder(instrument.New(instrument.LevelTimers))
+	t0 := time.Now()
+	if err := oneRun(); err != nil {
+		return run, err
+	}
+	elapsed := time.Since(t0)
+	run.NSPerOp = elapsed.Nanoseconds()
+	flops := 5 * float64(n) * math.Log2(float64(n))
+	run.GFlopsPerSec = flops / float64(elapsed.Nanoseconds())
+	snap := pl.Recorder().Snapshot()
+	for _, st := range snap.Stages {
+		if st.Calls == 0 {
+			continue
+		}
+		run.Stages = append(run.Stages, BenchStage{
+			Stage:  st.Stage.String(),
+			Calls:  st.Calls,
+			WallNS: st.Wall.Nanoseconds(),
+			GFlops: st.GFlopsPerSec(),
+		})
+	}
+	run.CommBytes = snap.Comm.Bytes
+	run.AlltoallBytes = snap.Comm.AlltoallBytes
+	return run, nil
+}
+
+// WriteJSON renders the report as indented JSON.
+func (r *BenchReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// TracedRun executes one distributed transform on an in-process world
+// with event tracing armed and writes the Perfetto timeline to w: every
+// rank's halo/convolve/exchange/segment_fft spans under one trace ID,
+// one track per stage per rank. This is the quickest way to get a trace
+// to open in ui.perfetto.dev without orchestrating soinode processes.
+func TracedRun(w io.Writer, n, ranks, segments, taps int) error {
+	pl, err := core.NewPlan(core.Params{N: n, P: segments, Mu: 5, Nu: 4, B: taps})
+	if err != nil {
+		return err
+	}
+	if err := pl.ValidateDistributed(ranks); err != nil {
+		return err
+	}
+	tr := trace.New(0)
+	ctx := trace.WithTracer(trace.WithID(context.Background(), trace.NewID()), tr)
+	src := signal.Random(n, int64(n))
+	dst := make([]complex128, n)
+	nLocal := n / ranks
+	world, err := mpi.NewWorld(ranks)
+	if err != nil {
+		return err
+	}
+	err = world.Run(func(c *mpi.Comm) error {
+		_, err := pl.RunDistributedContext(ctx, c,
+			dst[c.Rank()*nLocal:(c.Rank()+1)*nLocal],
+			src[c.Rank()*nLocal:(c.Rank()+1)*nLocal])
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	return tr.WritePerfetto(w)
+}

@@ -207,6 +207,7 @@ func (pl *Plan) RunDistributedContext(ctx context.Context, c Comm, localOut, loc
 		return dt, err
 	}
 	rank := c.Rank()
+	tr, tid := pl.tracerFor(ctx)
 	halo := pl.HaloLen()
 	bpr := pl.mp / r // convolution blocks per rank
 	spr := p.P / r   // segments per rank
@@ -221,6 +222,7 @@ func (pl *Plan) RunDistributedContext(ctx context.Context, c Comm, localOut, loc
 	// (paper: "typically less than 0.01% of M"); tiny test shapes may
 	// span several neighbours.
 	t0 := time.Now()
+	tr.Begin(tid, rank, instrument.StageHalo.String())
 	ext := make([]complex128, nLocal+halo)
 	copy(ext, localIn)
 	depth := 0 // neighbour distance the halo spans
@@ -235,10 +237,12 @@ func (pl *Plan) RunDistributedContext(ctx context.Context, c Comm, localOut, loc
 		}
 	}
 	dt.Halo = time.Since(t0)
+	tr.End(tid, rank, instrument.StageHalo.String())
 
 	// Phase 2: convolution rows and their P-point FFTs. Interior rows
 	// (taps within the owned block) run while the halo is in flight.
 	t0 = time.Now()
+	tr.Begin(tid, rank, instrument.StageConvolve.String())
 	jLo := rank * bpr
 	jMid := jLo
 	for jMid < jLo+bpr && pl.rowEndCol(jMid) <= (rank+1)*nLocal {
@@ -258,6 +262,7 @@ func (pl *Plan) RunDistributedContext(ctx context.Context, c Comm, localOut, loc
 	dt.Convolve = time.Since(t0)
 
 	t0 = time.Now()
+	tr.Begin(tid, rank, instrument.StageHalo.String())
 	if r == 1 {
 		copy(ext[nLocal:], localIn[:halo])
 	} else {
@@ -267,6 +272,7 @@ func (pl *Plan) RunDistributedContext(ctx context.Context, c Comm, localOut, loc
 		}
 	}
 	dt.Halo += time.Since(t0)
+	tr.End(tid, rank, instrument.StageHalo.String())
 
 	t0 = time.Now()
 	pl.ConvolveRange(conv[(jMid-jLo)*p.P:], ext, jMid, jLo+bpr, rank*nLocal)
@@ -292,12 +298,14 @@ func (pl *Plan) RunDistributedContext(ctx context.Context, c Comm, localOut, loc
 		}
 	}
 	dt.Convolve += time.Since(t0)
+	tr.End(tid, rank, instrument.StageConvolve.String())
 	if err := ctx.Err(); err != nil {
 		return dt, err
 	}
 
 	// Phase 3: the single all-to-all (stride-P permutation P_perm^{P,N'}).
 	t0 = time.Now()
+	tr.Begin(tid, rank, instrument.StageExchange.String())
 	var recv []complex128
 	if p.Exchange == ExchangePairwise {
 		counts := make([]int, r)
@@ -309,6 +317,7 @@ func (pl *Plan) RunDistributedContext(ctx context.Context, c Comm, localOut, loc
 		recv = c.Alltoall(send, chunk)
 	}
 	dt.Exchange = time.Since(t0)
+	tr.End(tid, rank, instrument.StageExchange.String())
 	if err := ctx.Err(); err != nil {
 		return dt, err
 	}
@@ -316,6 +325,7 @@ func (pl *Plan) RunDistributedContext(ctx context.Context, c Comm, localOut, loc
 	// Phase 4: assemble each owned segment's oversampled sequence, run
 	// F_M', project and demodulate.
 	t0 = time.Now()
+	tr.Begin(tid, rank, instrument.StageSegmentFFT.String())
 	parfor(workers, spr, func(sLo, sHi int) {
 		w0 := time.Now()
 		xt := make([]complex128, pl.mp)
@@ -335,6 +345,7 @@ func (pl *Plan) RunDistributedContext(ctx context.Context, c Comm, localOut, loc
 		}
 	})
 	dt.SegmentFT = time.Since(t0)
+	tr.End(tid, rank, instrument.StageSegmentFFT.String())
 
 	if rec.On() {
 		rec.AddTransform() // counts per-rank executions on the distributed path

@@ -8,6 +8,7 @@ import (
 
 	"soifft/internal/fft"
 	"soifft/internal/instrument"
+	"soifft/internal/trace"
 	"soifft/internal/window"
 )
 
@@ -40,6 +41,10 @@ type Plan struct {
 	// every execution path at its uninstrumented cost apart from one
 	// pointer test per stage.
 	rec *instrument.Recorder
+
+	// tr is the optional event tracer, with the same nil-is-free
+	// contract as rec; a tracer on the context overrides it.
+	tr *trace.Tracer
 
 	ws sync.Pool // *workspace, reused across Transform calls
 }
@@ -150,6 +155,17 @@ func (pl *Plan) SetRecorder(r *instrument.Recorder) { pl.rec = r }
 
 // Recorder returns the attached recorder (nil when observability is off).
 func (pl *Plan) Recorder() *instrument.Recorder { return pl.rec }
+
+// SetTracer attaches (or, with nil, detaches) an event tracer: each
+// transform then emits begin/end spans per pipeline stage. Like
+// SetRecorder this is a plain pointer write — install before sharing
+// the plan. Execution paths also honor a tracer carried by the
+// context (trace.WithTracer), which wins over the plan's own and is
+// the race-free way to trace individual requests on a shared plan.
+func (pl *Plan) SetTracer(t *trace.Tracer) { pl.tr = t }
+
+// Tracer returns the attached tracer (nil when tracing is off).
+func (pl *Plan) Tracer() *trace.Tracer { return pl.tr }
 
 // M returns the segment length N/P.
 func (pl *Plan) M() int { return pl.m }

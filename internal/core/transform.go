@@ -10,7 +10,19 @@ import (
 	"time"
 
 	"soifft/internal/instrument"
+	"soifft/internal/trace"
 )
+
+// tracerFor resolves the tracer and trace ID for one execution: a
+// tracer carried by the context (per-request, race-free on shared
+// plans) wins over the plan's own. Both may be nil/zero — the tracer's
+// nil-safe methods make that the free path.
+func (pl *Plan) tracerFor(ctx context.Context) (*trace.Tracer, trace.ID) {
+	if t := trace.TracerFrom(ctx); t != nil {
+		return t, trace.IDFrom(ctx)
+	}
+	return pl.tr, trace.IDFrom(ctx)
+}
 
 // PhaseTimes records wall time per pipeline stage of one transform; it
 // feeds the performance-model calibration and the op-count ablation
@@ -67,17 +79,21 @@ func (pl *Plan) transform(ctx context.Context, dst, src []complex128) (PhaseTime
 	}
 	rec := pl.rec
 	timed := rec.Timing()
+	tr, tid := pl.tracerFor(ctx)
 
 	// Extend the input with its own head so tap windows never wrap: this
 	// is the shared-memory stand-in for the neighbour halo exchange.
 	t0 := time.Now()
+	tr.Begin(tid, 0, instrument.StageHalo.String())
 	ws := pl.ws.Get().(*workspace)
 	defer pl.ws.Put(ws)
 	xext := ws.ext
 	copy(xext, src)
 	copy(xext[p.N:], src[:pl.HaloLen()])
+	tr.End(tid, 0, instrument.StageHalo.String())
 
 	// Stage 1+2 fused: convolution blocks and their P-point FFTs.
+	tr.Begin(tid, 0, instrument.StageConvolve.String())
 	v := ws.v
 	var convBusy atomic.Int64
 	parfor(workers, pl.mp, func(jLo, jHi int) {
@@ -93,21 +109,25 @@ func (pl *Plan) transform(ctx context.Context, dst, src []complex128) (PhaseTime
 		}
 	})
 	pt.Convolve = time.Since(t0)
+	tr.End(tid, 0, instrument.StageConvolve.String())
 	if err := ctx.Err(); err != nil {
 		return pt, err
 	}
 
 	// Stage 3: stride-P permutation, gathering each segment contiguously.
 	t0 = time.Now()
+	tr.Begin(tid, 0, instrument.StageExchange.String())
 	seg := ws.seg
 	transpose(seg, v, pl.mp, p.P, workers)
 	pt.Transpose = time.Since(t0)
+	tr.End(tid, 0, instrument.StageExchange.String())
 	if err := ctx.Err(); err != nil {
 		return pt, err
 	}
 
 	// Stage 4: per-segment M'-point FFTs.
 	t0 = time.Now()
+	tr.Begin(tid, 0, instrument.StageSegmentFFT.String())
 	ybuf := ws.yb
 	var segBusy atomic.Int64
 	parfor(workers, p.P, func(sLo, sHi int) {
@@ -123,18 +143,21 @@ func (pl *Plan) transform(ctx context.Context, dst, src []complex128) (PhaseTime
 		}
 	})
 	pt.SegmentFT = time.Since(t0)
+	tr.End(tid, 0, instrument.StageSegmentFFT.String())
 	if err := ctx.Err(); err != nil {
 		return pt, err
 	}
 
 	// Stage 5: project to the top M entries of each segment, demodulate.
 	t0 = time.Now()
+	tr.Begin(tid, 0, instrument.StageDemod.String())
 	parfor(workers, p.P, func(sLo, sHi int) {
 		for s := sLo; s < sHi; s++ {
 			pl.Demodulate(dst[s*pl.m:(s+1)*pl.m], ybuf[s*pl.mp:(s+1)*pl.mp])
 		}
 	})
 	pt.Demod = time.Since(t0)
+	tr.End(tid, 0, instrument.StageDemod.String())
 
 	if rec.On() {
 		rec.AddTransform()

@@ -1,0 +1,38 @@
+// Package logutil builds the slog loggers the commands share: a
+// -log-level / -log-format flag pair maps onto one constructor, so
+// soiserve and soinode log identically (text for humans, JSON for
+// collectors) without repeating handler wiring.
+package logutil
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+)
+
+// New builds a logger writing to w. format is "text" or "json"; level
+// is "debug", "info", "warn" or "error".
+func New(w io.Writer, format, level string) (*slog.Logger, error) {
+	var lv slog.Level
+	switch level {
+	case "debug":
+		lv = slog.LevelDebug
+	case "info", "":
+		lv = slog.LevelInfo
+	case "warn":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown log level %q (want debug, info, warn or error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch format {
+	case "text", "":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	default:
+		return nil, fmt.Errorf("unknown log format %q (want text or json)", format)
+	}
+}

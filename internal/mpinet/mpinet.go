@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"soifft/internal/instrument"
+	"soifft/internal/trace"
 )
 
 // Node is a rank that has opened its listener but not yet met its peers.
@@ -259,6 +260,8 @@ type Proc struct {
 	peers       []*peer
 	ioTimeoutNs atomic.Int64
 	rec         atomic.Pointer[instrument.Recorder]
+	tr          atomic.Pointer[trace.Tracer]
+	traceID     atomic.Uint64
 	stats       netStats
 }
 
@@ -324,7 +327,8 @@ func (p *Proc) SetRecorder(r *instrument.Recorder) {
 }
 
 // noteFailure books a dead link and classifies its cause into the fault
-// counters (and the attached recorder, if any).
+// counters (the attached recorder, if any, and the flight recorder:
+// a typed transport fault dumps the event ring to disk).
 func (p *Proc) noteFailure(cause error) {
 	p.stats.linkFailures.Add(1)
 	rec := p.rec.Load()
@@ -336,6 +340,7 @@ func (p *Proc) noteFailure(cause error) {
 		p.stats.checksumErrors.Add(1)
 		rec.CountChecksumError()
 	}
+	p.flightFault(cause)
 }
 
 // Rank returns this process's rank.
@@ -407,6 +412,7 @@ func (p *Proc) RecvC(from, tag int) []complex128 {
 			if errors.Is(err, ErrDeadline) {
 				p.stats.deadlineEvents.Add(1)
 				p.rec.Load().CountDeadline()
+				p.flightFault(err)
 			}
 		}
 		panic(&TransportError{Rank: from, Op: "recv", Err: err})

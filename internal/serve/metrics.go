@@ -37,11 +37,84 @@ type Metrics struct {
 	latBuckets [5]atomic.Int64
 	latTotalUS atomic.Int64
 
+	// Per-request latency histograms with log2 buckets (1µs·2^i),
+	// split by where the time went.
+	latQueue latHist // admission to batch execution start
+	latExec  latHist // batch transform duration
+	latTotal latHist // request round trip inside the server
+
 	// sampled at scrape time by the owning server.
 	queueDepth func() int64
 	cacheVars  func() map[string]any
 	healthy    func() bool
 	plans      func() []soifft.CachedPlan
+	// flight, when set, streams the tracer's flight-recorder ring as
+	// Perfetto JSON (the /debug/flight endpoint).
+	flight func(w io.Writer) error
+}
+
+// latHistBuckets is the bucket count of the log2 latency histograms:
+// upper bounds 1µs·2^i for i ∈ [0, latHistBuckets), ~1µs to ~1s, plus
+// the implicit +Inf bucket.
+const latHistBuckets = 21
+
+// latHist is a log2-bucketed latency histogram in the Prometheus
+// cumulative style: bucket i counts observations ≤ 1µs·2^i, overflow
+// lands in +Inf, and sum/count give the mean.
+type latHist struct {
+	buckets [latHistBuckets + 1]atomic.Int64
+	sumUS   atomic.Int64
+	count   atomic.Int64
+}
+
+func (h *latHist) observe(d time.Duration) {
+	us := d.Microseconds()
+	h.sumUS.Add(us)
+	h.count.Add(1)
+	i := 0
+	for i < latHistBuckets && us > int64(1)<<i {
+		i++
+	}
+	h.buckets[i].Add(1)
+}
+
+// snapshot renders the histogram as upper-bound → count pairs
+// (cumulative) plus sum and count.
+func (h *latHist) snapshot() map[string]any {
+	counts := map[string]int64{}
+	var cum int64
+	for i := 0; i <= latHistBuckets; i++ {
+		cum += h.buckets[i].Load()
+		le := "+Inf"
+		if i < latHistBuckets {
+			le = fmt.Sprintf("%dus", int64(1)<<i)
+		}
+		if cum > 0 {
+			counts[le] = cum
+		}
+	}
+	return map[string]any{
+		"buckets": counts,
+		"sum_us":  h.sumUS.Load(),
+		"count":   h.count.Load(),
+	}
+}
+
+// writeProm emits the histogram as a Prometheus histogram series
+// (cumulative _bucket with le labels in seconds, _sum, _count).
+func (h *latHist) writeProm(w io.Writer, name string) {
+	fmt.Fprintf(w, "# TYPE %s histogram\n", name)
+	var cum int64
+	for i := 0; i <= latHistBuckets; i++ {
+		cum += h.buckets[i].Load()
+		if i < latHistBuckets {
+			fmt.Fprintf(w, "%s_bucket{le=\"%g\"} %d\n", name, float64(int64(1)<<i)/1e6, cum)
+		} else {
+			fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+		}
+	}
+	fmt.Fprintf(w, "%s_sum %g\n", name, float64(h.sumUS.Load())/1e6)
+	fmt.Fprintf(w, "%s_count %d\n", name, h.count.Load())
 }
 
 var batchBucketNames = [5]string{"1", "2-3", "4-7", "8-15", "16+"}
@@ -135,6 +208,11 @@ func (m *Metrics) Snapshot() map[string]any {
 		"batch_size_hist":  batchHist,
 		"latency_hist":     latHist,
 		"latency_total_us": m.latTotalUS.Load(),
+		"latency_log2": map[string]any{
+			"queue_wait": m.latQueue.snapshot(),
+			"execute":    m.latExec.snapshot(),
+			"total":      m.latTotal.snapshot(),
+		},
 	}
 	if m.queueDepth != nil {
 		snap["queue_depth"] = m.queueDepth()
@@ -179,6 +257,16 @@ func (m *Metrics) Handler() http.Handler {
 		fmt.Fprintln(w, "ok")
 	})
 	mux.HandleFunc("/metrics", m.writePrometheus)
+	mux.HandleFunc("/debug/flight", func(w http.ResponseWriter, r *http.Request) {
+		if m.flight == nil {
+			http.Error(w, "tracing is not enabled", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		if err := m.flight(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -214,6 +302,9 @@ func (m *Metrics) writePrometheus(w http.ResponseWriter, _ *http.Request) {
 	if m.queueDepth != nil {
 		gauge("queue_depth", m.queueDepth())
 	}
+	m.latQueue.writeProm(w, "soiserve_queue_wait_seconds")
+	m.latExec.writeProm(w, "soiserve_execute_seconds")
+	m.latTotal.writeProm(w, "soiserve_request_seconds")
 	if m.plans != nil {
 		for _, cp := range m.plans() {
 			_ = cp.Plan.WriteMetrics(w, map[string]string{"plan": cp.Key.String()})

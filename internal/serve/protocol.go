@@ -22,13 +22,18 @@ import (
 	"time"
 )
 
-// Wire constants.
+// Wire constants. Protocol v2 appends a trace ID to the request header
+// (trailing 8 bytes); v1 requests — the original 44-byte header — are
+// still accepted, and responses echo the requester's version so v1
+// clients never see a version byte they would reject.
 const (
-	Magic   = 0x53494F53 // "SOIS"
-	Version = 1
+	Magic     = 0x53494F53 // "SOIS"
+	Version   = 2
+	VersionV1 = 1
 
-	reqHeaderLen  = 44
-	respHeaderLen = 24
+	reqHeaderLenV1 = 44
+	reqHeaderLen   = reqHeaderLenV1 + 8 // + trace ID
+	respHeaderLen  = 24
 )
 
 // Op selects the operation a request performs.
@@ -50,11 +55,21 @@ const AccuracyNone = -1
 type Request struct {
 	Op       Op
 	N        int
-	Segments int // 0 = default
-	Mu, Nu   int // 0,0 = default oversampling 5/4
-	Taps     int // 0 = default (ignored when Accuracy >= 0)
-	Accuracy int // AccuracyNone, or a soifft.Accuracy value
+	Segments int    // 0 = default
+	Mu, Nu   int    // 0,0 = default oversampling 5/4
+	Taps     int    // 0 = default (ignored when Accuracy >= 0)
+	Accuracy int    // AccuracyNone, or a soifft.Accuracy value
+	TraceID  uint64 // distributed-tracing correlation ID (0 = untraced; v2 only)
+	Proto    uint8  // wire version to use / that was used (0 = current Version)
 	Data     []complex128
+}
+
+// proto resolves the version a frame should be written with.
+func (req *Request) proto() uint8 {
+	if req.Proto == 0 {
+		return Version
+	}
+	return req.Proto
 }
 
 // Status is the response disposition.
@@ -91,6 +106,7 @@ type Response struct {
 	Status     Status
 	RetryAfter time.Duration // backpressure hint (Overloaded/Draining)
 	Msg        string        // human-readable detail for non-OK statuses
+	Proto      uint8         // version byte to write / that was read (0 = current Version)
 	Data       []complex128
 }
 
@@ -130,11 +146,13 @@ func IsDraining(err error) bool {
 	return errors.As(err, &se) && se.Status == StatusDraining
 }
 
-// WriteRequest writes one request frame.
+// WriteRequest writes one request frame, in the version req.Proto
+// selects (current when zero; the v1 form drops the trace ID).
 func WriteRequest(w io.Writer, req *Request) error {
 	var hdr [reqHeaderLen]byte
+	ver := req.proto()
 	binary.LittleEndian.PutUint32(hdr[0:], Magic)
-	hdr[4] = Version
+	hdr[4] = ver
 	hdr[5] = byte(req.Op)
 	binary.LittleEndian.PutUint64(hdr[8:], uint64(req.N))
 	binary.LittleEndian.PutUint32(hdr[16:], uint32(req.Segments))
@@ -143,24 +161,32 @@ func WriteRequest(w io.Writer, req *Request) error {
 	binary.LittleEndian.PutUint32(hdr[28:], uint32(req.Taps))
 	binary.LittleEndian.PutUint32(hdr[32:], uint32(int32(req.Accuracy)))
 	binary.LittleEndian.PutUint64(hdr[36:], uint64(len(req.Data)))
-	if _, err := w.Write(hdr[:]); err != nil {
+	n := reqHeaderLenV1
+	if ver >= Version {
+		binary.LittleEndian.PutUint64(hdr[reqHeaderLenV1:], req.TraceID)
+		n = reqHeaderLen
+	}
+	if _, err := w.Write(hdr[:n]); err != nil {
 		return err
 	}
 	return writeComplex(w, req.Data)
 }
 
 // ReadRequest reads one request frame, rejecting payloads longer than
-// maxCount points.
+// maxCount points. Both protocol versions are accepted: the version
+// byte decides whether the trailing trace ID is present, and the frame
+// version read is recorded in req.Proto so responses can echo it.
 func ReadRequest(r io.Reader, maxCount int) (*Request, error) {
 	var hdr [reqHeaderLen]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+	if _, err := io.ReadFull(r, hdr[:reqHeaderLenV1]); err != nil {
 		return nil, err
 	}
 	if m := binary.LittleEndian.Uint32(hdr[0:]); m != Magic {
 		return nil, fmt.Errorf("serve: bad magic %#x", m)
 	}
-	if v := hdr[4]; v != Version {
-		return nil, fmt.Errorf("serve: protocol version %d unsupported (want %d)", v, Version)
+	ver := hdr[4]
+	if ver != VersionV1 && ver != Version {
+		return nil, fmt.Errorf("serve: protocol version %d unsupported (want %d or %d)", ver, VersionV1, Version)
 	}
 	req := &Request{
 		Op:       Op(hdr[5]),
@@ -170,8 +196,15 @@ func ReadRequest(r io.Reader, maxCount int) (*Request, error) {
 		Nu:       int(binary.LittleEndian.Uint32(hdr[24:])),
 		Taps:     int(binary.LittleEndian.Uint32(hdr[28:])),
 		Accuracy: int(int32(binary.LittleEndian.Uint32(hdr[32:]))),
+		Proto:    ver,
 	}
 	count := binary.LittleEndian.Uint64(hdr[36:])
+	if ver >= Version {
+		if _, err := io.ReadFull(r, hdr[reqHeaderLenV1:]); err != nil {
+			return nil, err
+		}
+		req.TraceID = binary.LittleEndian.Uint64(hdr[reqHeaderLenV1:])
+	}
 	if count > uint64(maxCount) {
 		return nil, fmt.Errorf("serve: payload of %d points exceeds limit %d", count, maxCount)
 	}
@@ -183,12 +216,18 @@ func ReadRequest(r io.Reader, maxCount int) (*Request, error) {
 	return req, nil
 }
 
-// WriteResponse writes one response frame.
+// WriteResponse writes one response frame. The response layout is
+// identical across protocol versions; the version byte echoes
+// resp.Proto (current when zero) so a v1 client reads a v1 byte back.
 func WriteResponse(w io.Writer, resp *Response) error {
 	msg := []byte(resp.Msg)
+	ver := resp.Proto
+	if ver == 0 {
+		ver = Version
+	}
 	var hdr [respHeaderLen]byte
 	binary.LittleEndian.PutUint32(hdr[0:], Magic)
-	hdr[4] = Version
+	hdr[4] = ver
 	hdr[5] = byte(resp.Status)
 	binary.LittleEndian.PutUint32(hdr[8:], uint32(resp.RetryAfter/time.Millisecond))
 	binary.LittleEndian.PutUint32(hdr[12:], uint32(len(msg)))
@@ -214,12 +253,14 @@ func ReadResponse(r io.Reader, maxCount int) (*Response, error) {
 	if m := binary.LittleEndian.Uint32(hdr[0:]); m != Magic {
 		return nil, fmt.Errorf("serve: bad magic %#x", m)
 	}
-	if v := hdr[4]; v != Version {
-		return nil, fmt.Errorf("serve: protocol version %d unsupported (want %d)", v, Version)
+	v := hdr[4]
+	if v != VersionV1 && v != Version {
+		return nil, fmt.Errorf("serve: protocol version %d unsupported (want %d or %d)", v, VersionV1, Version)
 	}
 	resp := &Response{
 		Status:     Status(hdr[5]),
 		RetryAfter: time.Duration(binary.LittleEndian.Uint32(hdr[8:])) * time.Millisecond,
+		Proto:      v,
 	}
 	msgLen := binary.LittleEndian.Uint32(hdr[12:])
 	count := binary.LittleEndian.Uint64(hdr[16:])

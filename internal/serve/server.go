@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"os"
 	"runtime"
@@ -14,6 +15,7 @@ import (
 	"time"
 
 	"soifft"
+	"soifft/internal/trace"
 )
 
 // Config tunes a Server. The zero value of every field selects a
@@ -56,8 +58,19 @@ type Config struct {
 	// on, the debug endpoint's /metrics page exposes per-plan stage and
 	// communication counters in Prometheus text format.
 	Instrument soifft.InstrumentLevel
-	// Logf, when set, receives one line per connection-level event.
-	Logf func(format string, args ...any)
+	// Logger receives structured connection- and request-level records
+	// (default: discard). Request-scoped records carry a trace_id
+	// attribute when tracing is on.
+	Logger *slog.Logger
+	// Tracer, when set, records a per-request timeline: every request
+	// gets a trace ID (the client's via the v2 header, or a fresh one)
+	// and request / batch_linger / queue_wait / execute / write_back
+	// spans, with the plan's pipeline-stage spans nested under execute.
+	Tracer *trace.Tracer
+	// FlightDir arms the tracer's flight recorder: typed faults
+	// (including backpressure rejections) dump the event ring to a
+	// timestamped Perfetto JSON file in this directory.
+	FlightDir string
 }
 
 func (c Config) withDefaults() Config {
@@ -85,8 +98,9 @@ func (c Config) withDefaults() Config {
 			c.RetryAfter = 10 * time.Millisecond
 		}
 	}
-	if c.Logf == nil {
-		c.Logf = func(string, ...any) {}
+	if c.Logger == nil {
+		// slog.DiscardHandler is 1.24+; build the discard logger by hand.
+		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
 	return c
 }
@@ -97,6 +111,8 @@ type job struct {
 	err      error
 	done     chan struct{}
 	start    time.Time
+	id       trace.ID // request trace ID (zero when tracing is off)
+	lane     int      // tracer lane the request's spans render on
 }
 
 // batchKey groups jobs that can execute under one plan call.
@@ -126,8 +142,9 @@ type Server struct {
 	cache   *soifft.PlanCache
 	metrics *Metrics
 
-	work   chan *batch
-	queued atomic.Int64 // jobs admitted but not yet executed
+	work    chan *batch
+	queued  atomic.Int64  // jobs admitted but not yet executed
+	laneSeq atomic.Uint64 // rotating tracer lanes so concurrent request spans don't collide
 
 	mu       sync.Mutex
 	ln       net.Listener
@@ -157,6 +174,12 @@ func New(cfg Config) *Server {
 	s.metrics.queueDepth = s.queued.Load
 	s.metrics.cacheVars = s.cacheVars
 	s.metrics.plans = s.cache.Plans
+	if cfg.Tracer != nil {
+		if cfg.FlightDir != "" {
+			cfg.Tracer.SetFlightDir(cfg.FlightDir)
+		}
+		s.metrics.flight = cfg.Tracer.WritePerfetto
+	}
 	s.metrics.healthy = func() bool {
 		s.mu.Lock()
 		defer s.mu.Unlock()
@@ -290,6 +313,8 @@ func (s *Server) handleConn(conn net.Conn) {
 		}
 		return bw.Flush()
 	}
+	log := s.cfg.Logger.With("remote", conn.RemoteAddr().String())
+	tr := s.cfg.Tracer
 	for {
 		if s.cfg.IdleTimeout > 0 {
 			_ = conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
@@ -301,7 +326,7 @@ func (s *Server) handleConn(conn net.Conn) {
 			// framing error worth one reply attempt.
 			if !errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) &&
 				!errors.Is(err, net.ErrClosed) && !errors.Is(err, os.ErrDeadlineExceeded) {
-				s.cfg.Logf("serve: %s: read: %v", conn.RemoteAddr(), err)
+				log.Warn("request read failed", "err", err)
 				_ = writeResp(&Response{Status: StatusBadRequest, Msg: err.Error()})
 			}
 			return
@@ -315,57 +340,87 @@ func (s *Server) handleConn(conn net.Conn) {
 			s.metrics.drained.Add(1)
 			_ = writeResp(&Response{
 				Status: StatusDraining, RetryAfter: s.cfg.RetryAfter,
-				Msg: "server is draining",
+				Msg: "server is draining", Proto: req.Proto,
 			})
 			return
 		}
 		s.inflight.Add(1)
 		s.mu.Unlock()
 
-		resp := s.process(req)
+		resp, id, lane := s.process(req, log)
+		resp.Proto = req.Proto // echo the requester's version; v1 clients reject anything else
+		tr.Begin(id, lane, "write_back")
 		err = writeResp(resp)
+		tr.End(id, lane, "write_back")
 		s.inflight.Done()
 		if err != nil {
-			s.cfg.Logf("serve: %s: write: %v", conn.RemoteAddr(), err)
+			log.Warn("response write failed", "err", err, "trace_id", id.String())
 			return
 		}
 	}
 }
 
-// process executes one admitted request and builds its response.
-func (s *Server) process(req *Request) *Response {
+// process executes one admitted request and builds its response. It
+// returns the request's trace ID and tracer lane so the caller can
+// bracket the response write.
+func (s *Server) process(req *Request, log *slog.Logger) (*Response, trace.ID, int) {
 	start := time.Now()
 	s.metrics.requests.Add(1)
-	defer func() { s.metrics.observeLatency(time.Since(start)) }()
+
+	// Every traced request gets an ID — the client's (v2 header) or a
+	// fresh one — and a rotating lane, so concurrent request spans land
+	// on distinct tracks.
+	tr := s.cfg.Tracer
+	id := trace.ID(req.TraceID)
+	var lane int
+	if tr != nil {
+		if id == 0 {
+			id = trace.NewID()
+		}
+		lane = int(s.laneSeq.Add(1) & 0x1fff)
+		tr.Begin(id, lane, "request")
+	}
+	defer func() {
+		d := time.Since(start)
+		s.metrics.observeLatency(d)
+		s.metrics.latTotal.observe(d)
+		tr.End(id, lane, "request")
+	}()
 
 	switch req.Op {
 	case OpPing:
-		return &Response{Status: StatusOK}
+		return &Response{Status: StatusOK}, id, lane
 	case OpForward, OpInverse:
 	default:
 		s.metrics.errors.Add(1)
-		return &Response{Status: StatusBadRequest, Msg: fmt.Sprintf("unknown op %d", req.Op)}
+		return &Response{Status: StatusBadRequest, Msg: fmt.Sprintf("unknown op %d", req.Op)}, id, lane
 	}
 	if req.N <= 0 || len(req.Data) != req.N {
 		s.metrics.errors.Add(1)
 		return &Response{Status: StatusBadRequest,
-			Msg: fmt.Sprintf("payload has %d points, header says n=%d", len(req.Data), req.N)}
+			Msg: fmt.Sprintf("payload has %d points, header says n=%d", len(req.Data), req.N)}, id, lane
 	}
 
 	plan, resp := s.resolvePlan(req)
 	if resp != nil {
-		return resp
+		return resp, id, lane
 	}
 
 	// Backpressure: admit-and-check keeps the depth accounting exact
-	// under concurrent submissions.
+	// under concurrent submissions. A rejection is a typed fault: it
+	// marks the timeline and (when armed) dumps the flight recorder.
 	if q := s.queued.Add(1); q > int64(s.cfg.QueueDepth) {
 		s.queued.Add(-1)
 		s.metrics.rejected.Add(1)
+		if tr != nil {
+			if path, _ := tr.Fault(id, lane, "backpressure"); path != "" {
+				log.Warn("flight recorder dumped", "reason", "backpressure", "path", path, "trace_id", id.String())
+			}
+		}
 		return &Response{
 			Status: StatusOverloaded, RetryAfter: s.cfg.RetryAfter,
 			Msg: fmt.Sprintf("queue full (%d jobs)", s.cfg.QueueDepth),
-		}
+		}, id, lane
 	}
 
 	j := &job{
@@ -373,14 +428,17 @@ func (s *Server) process(req *Request) *Response {
 		dst:   make([]complex128, req.N),
 		done:  make(chan struct{}),
 		start: start,
+		id:    id,
+		lane:  lane,
 	}
 	s.enqueue(plan, batchKey{plan: plan.Key(), inverse: req.Op == OpInverse}, j)
 	<-j.done
 	if j.err != nil {
 		s.metrics.errors.Add(1)
-		return &Response{Status: StatusInternal, Msg: j.err.Error()}
+		log.Error("transform failed", "err", j.err, "n", req.N, "trace_id", id.String())
+		return &Response{Status: StatusInternal, Msg: j.err.Error()}, id, lane
 	}
-	return &Response{Status: StatusOK, Data: j.dst}
+	return &Response{Status: StatusOK, Data: j.dst}, id, lane
 }
 
 // resolvePlan maps request parameters to a cached plan, building through
@@ -422,6 +480,7 @@ func (s *Server) enqueue(plan *soifft.Plan, key batchKey, j *job) {
 		s.batchers[key] = b
 	}
 	b.jobs = append(b.jobs, j)
+	s.cfg.Tracer.Begin(j.id, j.lane, "batch_linger")
 	if len(b.jobs) >= s.cfg.MaxBatch || s.cfg.MaxLinger <= 0 || s.draining {
 		s.flushLocked(key, b)
 		return
@@ -448,6 +507,10 @@ func (s *Server) flushLocked(key batchKey, b *batcher) {
 	jobs := b.jobs
 	b.jobs = nil
 	delete(s.batchers, key)
+	for _, j := range jobs {
+		s.cfg.Tracer.End(j.id, j.lane, "batch_linger")
+		s.cfg.Tracer.Begin(j.id, j.lane, "queue_wait")
+	}
 	s.work <- &batch{plan: b.plan, inverse: key.inverse, jobs: jobs}
 }
 
@@ -470,20 +533,41 @@ func (s *Server) runBatch(b *batch) {
 	m := len(b.jobs)
 	s.metrics.observeBatch(m)
 	n := b.plan.N()
+
+	// Close out the queue-wait spans, open execute, and build the batch
+	// context: the tracer and the first job's trace ID ride it so the
+	// plan's pipeline-stage spans nest under this batch without mutating
+	// the shared cached plan.
+	tr := s.cfg.Tracer
+	execStart := time.Now()
+	ctx := context.Background()
+	if tr != nil {
+		for _, j := range b.jobs {
+			tr.End(j.id, j.lane, "queue_wait")
+			tr.Begin(j.id, j.lane, "execute")
+			s.metrics.latQueue.observe(execStart.Sub(j.start))
+		}
+		ctx = trace.WithTracer(trace.WithID(ctx, b.jobs[0].id), tr)
+	} else {
+		for _, j := range b.jobs {
+			s.metrics.latQueue.observe(execStart.Sub(j.start))
+		}
+	}
+
 	switch {
 	case b.inverse:
 		for _, j := range b.jobs {
-			j.err = b.plan.Inverse(j.dst, j.src)
+			j.err = b.plan.InverseContext(ctx, j.dst, j.src)
 		}
 	case m == 1:
-		b.jobs[0].err = b.plan.Transform(b.jobs[0].dst, b.jobs[0].src)
+		b.jobs[0].err = b.plan.TransformContext(ctx, b.jobs[0].dst, b.jobs[0].src)
 	default:
 		src := make([]complex128, m*n)
 		dst := make([]complex128, m*n)
 		for i, j := range b.jobs {
 			copy(src[i*n:(i+1)*n], j.src)
 		}
-		err := b.plan.TransformBatch(dst, src, m)
+		err := b.plan.TransformBatchContext(ctx, dst, src, m)
 		for i, j := range b.jobs {
 			if err != nil {
 				j.err = err
@@ -491,6 +575,12 @@ func (s *Server) runBatch(b *batch) {
 				copy(j.dst, dst[i*n:(i+1)*n])
 			}
 		}
+	}
+
+	execDur := time.Since(execStart)
+	for _, j := range b.jobs {
+		s.metrics.latExec.observe(execDur)
+		tr.End(j.id, j.lane, "execute")
 	}
 	s.queued.Add(int64(-m))
 	for _, j := range b.jobs {

@@ -1,0 +1,172 @@
+package serve_test
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"net"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"soifft"
+	"soifft/client"
+	"soifft/internal/serve"
+	"soifft/internal/signal"
+	"soifft/internal/trace"
+)
+
+// TestProtocolVersionRoundTrip pins the two wire forms: a v2 request
+// carries its trace ID through, and a v1 request (8 bytes shorter) is
+// still accepted with a zero trace ID and its version recorded.
+func TestProtocolVersionRoundTrip(t *testing.T) {
+	data := signal.Random(16, 3)
+
+	var v2 bytes.Buffer
+	req := &serve.Request{Op: serve.OpForward, N: 16, Accuracy: serve.AccuracyNone,
+		TraceID: 0xdeadbeefcafe, Data: data}
+	if err := serve.WriteRequest(&v2, req); err != nil {
+		t.Fatal(err)
+	}
+	v2Len := v2.Len()
+	got, err := serve.ReadRequest(&v2, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TraceID != 0xdeadbeefcafe || got.Proto != serve.Version {
+		t.Fatalf("v2 round trip: TraceID=%#x Proto=%d", got.TraceID, got.Proto)
+	}
+
+	var v1 bytes.Buffer
+	reqV1 := &serve.Request{Op: serve.OpForward, N: 16, Accuracy: serve.AccuracyNone,
+		TraceID: 0xdeadbeefcafe, Proto: serve.VersionV1, Data: data}
+	if err := serve.WriteRequest(&v1, reqV1); err != nil {
+		t.Fatal(err)
+	}
+	if want := v2Len - 8; v1.Len() != want {
+		t.Fatalf("v1 frame is %d bytes, want %d (no trace ID)", v1.Len(), want)
+	}
+	gotV1, err := serve.ReadRequest(&v1, 1<<20)
+	if err != nil {
+		t.Fatalf("v1 frame rejected: %v", err)
+	}
+	if gotV1.TraceID != 0 || gotV1.Proto != serve.VersionV1 {
+		t.Fatalf("v1 round trip: TraceID=%#x Proto=%d", gotV1.TraceID, gotV1.Proto)
+	}
+
+	// Responses echo the requested version byte so a v1 reader accepts
+	// what a v2 server writes back.
+	var resp bytes.Buffer
+	if err := serve.WriteResponse(&resp, &serve.Response{Proto: serve.VersionV1, Data: data}); err != nil {
+		t.Fatal(err)
+	}
+	r, err := serve.ReadResponse(&resp, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Proto != serve.VersionV1 {
+		t.Fatalf("response version = %d, want echoed v1", r.Proto)
+	}
+}
+
+// TestV1ClientAgainstServer speaks the old protocol over a real
+// connection: a v2 server must answer a 44-byte-header client with a
+// correct transform and a v1 version byte.
+func TestV1ClientAgainstServer(t *testing.T) {
+	s := startServer(t, serve.Config{Workers: 1, MaxBatch: 1})
+	conn, err := net.Dial("tcp", s.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	src := signal.Random(1024, 11)
+	req := &serve.Request{Op: serve.OpForward, N: len(src), Accuracy: serve.AccuracyNone,
+		Segments: 8, Taps: 32, Proto: serve.VersionV1, Data: src}
+	bw := bufio.NewWriter(conn)
+	if err := serve.WriteRequest(bw, req); err != nil {
+		t.Fatal(err)
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := serve.ReadResponse(bufio.NewReader(conn), 1<<20)
+	if err != nil {
+		t.Fatalf("v1 client could not read response: %v", err)
+	}
+	if resp.Status != serve.StatusOK {
+		t.Fatalf("status %v: %s", resp.Status, resp.Msg)
+	}
+	if resp.Proto != serve.VersionV1 {
+		t.Fatalf("server answered a v1 request with version %d", resp.Proto)
+	}
+	ref, err := soifft.FFT(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := relErr(resp.Data, ref); e > 1e-3 {
+		t.Fatalf("v1 transform rel err %.3e", e)
+	}
+}
+
+// TestRequestTraceSpans drives a traced request end to end: the trace
+// ID minted client-side must stamp the server's request span and all
+// four lifecycle children, and /debug/flight must serve the ring.
+func TestRequestTraceSpans(t *testing.T) {
+	tr := trace.New(4096)
+	s := startServer(t, serve.Config{Workers: 1, MaxBatch: 2, Tracer: tr})
+	c := dial(t, s)
+
+	id := trace.NewID()
+	ctx := trace.WithID(context.Background(), id)
+	src := signal.Random(1024, 5)
+	if _, err := c.TransformContext(ctx, src, &client.Options{Segments: 8, Taps: 32}); err != nil {
+		t.Fatal(err)
+	}
+
+	want := map[string]bool{
+		"request": false, "batch_linger": false, "queue_wait": false,
+		"execute": false, "write_back": false,
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		for _, ev := range tr.Snapshot() {
+			if ev.Trace != id || ev.Kind != trace.KindBegin {
+				continue
+			}
+			if _, ok := want[ev.Name]; ok {
+				want[ev.Name] = true
+			}
+		}
+		missing := 0
+		for _, seen := range want {
+			if !seen {
+				missing++
+			}
+		}
+		if missing == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("spans missing for trace %v: %v", id, want)
+		}
+		time.Sleep(10 * time.Millisecond) // write_back lands after the response
+	}
+
+	rr := httptest.NewRecorder()
+	rq := httptest.NewRequest("GET", "/debug/flight", nil)
+	s.Metrics().Handler().ServeHTTP(rr, rq)
+	if rr.Code != 200 {
+		t.Fatalf("/debug/flight status %d", rr.Code)
+	}
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(rr.Body.Bytes(), &doc); err != nil {
+		t.Fatalf("/debug/flight body is not trace JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("/debug/flight returned an empty timeline")
+	}
+}

@@ -1,0 +1,38 @@
+// Context plumbing: the trace ID and the tracer ride the context
+// through layers that must not mutate shared state — most importantly
+// the serve path, where cached plans are shared across concurrent
+// requests and a per-request SetTracer would race.
+
+package trace
+
+import "context"
+
+type ctxKey int
+
+const (
+	idKey ctxKey = iota
+	tracerKey
+)
+
+// WithID returns a context carrying the trace ID.
+func WithID(ctx context.Context, id ID) context.Context {
+	return context.WithValue(ctx, idKey, id)
+}
+
+// IDFrom extracts the trace ID from ctx (zero when absent).
+func IDFrom(ctx context.Context) ID {
+	id, _ := ctx.Value(idKey).(ID)
+	return id
+}
+
+// WithTracer returns a context carrying the tracer.
+func WithTracer(ctx context.Context, t *Tracer) context.Context {
+	return context.WithValue(ctx, tracerKey, t)
+}
+
+// TracerFrom extracts the tracer from ctx (nil — i.e. inert — when
+// absent).
+func TracerFrom(ctx context.Context) *Tracer {
+	t, _ := ctx.Value(tracerKey).(*Tracer)
+	return t
+}

@@ -1,6 +1,8 @@
-// Package trace renders labeled time spans as ASCII Gantt charts — a
-// lightweight way to see the execution structure of a distributed
-// transform (which phase dominates, where ranks wait) in a terminal.
+// ASCII Gantt rendering of labeled time spans — a lightweight way to
+// see the execution structure of a distributed transform (which phase
+// dominates, where ranks wait) in a terminal. The event-level tracer
+// and Perfetto export live in tracer.go / perfetto.go.
+
 package trace
 
 import (

@@ -1,0 +1,67 @@
+package soifft
+
+import (
+	"context"
+	"io"
+
+	"soifft/internal/trace"
+)
+
+// Tracer records event-level timelines — spans, instants, counters —
+// into a fixed-size ring buffer that doubles as a flight recorder.
+// Attach one to a plan with SetTracer (or carry it on a context with
+// WithTracer) and every transform emits begin/end spans per pipeline
+// stage, per rank on distributed runs; export the ring with
+// WritePerfetto and load the JSON in https://ui.perfetto.dev. A nil
+// *Tracer is valid everywhere and free: the traced code paths pay one
+// pointer test.
+//
+// Tracer is an alias of the internal implementation so plans, the
+// serve layer and the commands share one ring type.
+type Tracer = trace.Tracer
+
+// TraceID correlates every event of one logical request across
+// goroutines, pipeline stages and ranks. Zero means "untraced".
+type TraceID = trace.ID
+
+// NewTracer builds a tracer whose ring holds at least capacity events
+// (capacity <= 0 selects the default ~64k — the flight-recorder
+// depth).
+func NewTracer(capacity int) *Tracer { return trace.New(capacity) }
+
+// NewTraceID returns a fresh non-zero trace ID.
+func NewTraceID() TraceID { return trace.NewID() }
+
+// WithTraceID returns a context carrying the trace ID: traced plan
+// executions stamp their spans with it, and the serve client forwards
+// it in the request header so server-side spans join the same
+// timeline.
+func WithTraceID(ctx context.Context, id TraceID) context.Context {
+	return trace.WithID(ctx, id)
+}
+
+// TraceIDFrom extracts the trace ID from ctx (zero when absent).
+func TraceIDFrom(ctx context.Context) TraceID { return trace.IDFrom(ctx) }
+
+// WithTracer returns a context carrying the tracer. A context tracer
+// overrides the plan's own for executions under that context — the
+// race-free way to trace individual requests on a plan shared across
+// goroutines.
+func WithTracer(ctx context.Context, t *Tracer) context.Context {
+	return trace.WithTracer(ctx, t)
+}
+
+// SetTracer attaches (or, with nil, detaches) an event tracer to the
+// plan. Like Instrument it is a plain pointer write: install it before
+// sharing the plan, not while transforms are in flight.
+func (p *Plan) SetTracer(t *Tracer) { p.inner.SetTracer(t) }
+
+// Tracer returns the plan's attached tracer (nil when tracing is off).
+func (p *Plan) Tracer() *Tracer { return p.inner.Tracer() }
+
+// MergeTraces stitches Perfetto trace files written by separate
+// processes (e.g. soinode's per-rank -trace-out files) into one
+// timeline, aligning clocks on each file's sync instant when present.
+func MergeTraces(w io.Writer, inputs ...io.Reader) error {
+	return trace.Merge(w, inputs...)
+}
