@@ -200,8 +200,8 @@ func BenchmarkConvolve(b *testing.B) {
 	}
 }
 
-// BenchmarkSOITransform measures the full shared-memory SOI pipeline.
-func BenchmarkSOITransform(b *testing.B) {
+// BenchmarkTransform measures the full shared-memory SOI pipeline.
+func BenchmarkTransform(b *testing.B) {
 	for _, n := range []int{1 << 16, 1 << 18, 1 << 20} {
 		b.Run(sizeName(n), func(b *testing.B) {
 			plan, err := NewPlan(n)
@@ -224,7 +224,7 @@ func BenchmarkSOITransform(b *testing.B) {
 
 // BenchmarkObservability measures the cost of each instrumentation level
 // on the shared-memory transform; the "off" row is the basis of the
-// near-zero-overhead-when-off claim (compare against BenchmarkSOITransform
+// near-zero-overhead-when-off claim (compare against BenchmarkTransform
 // or the plain sub-benchmark here).
 func BenchmarkObservability(b *testing.B) {
 	const n = 1 << 18

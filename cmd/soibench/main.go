@@ -32,6 +32,8 @@ func main() {
 	ranks := flag.Int("ranks", 4, "in-process ranks for -report, -trace and -bench-json")
 	traceOut := flag.String("trace", "", "run one traced distributed transform and write its Perfetto timeline JSON here (open in ui.perfetto.dev), then exit")
 	benchJSON := flag.String("bench-json", "", "measure distributed transforms across sizes and write a machine-readable summary here (e.g. BENCH_soi.json), then exit")
+	benchBase := flag.String("bench-baseline", "", "with -bench-json: committed baseline report to compare against; exit 1 on regression")
+	benchTol := flag.Float64("bench-tol", 0.10, "with -bench-baseline: allowed ns/op slowdown before the gate fails (0.10 = 10%)")
 	flag.Parse()
 
 	if *traceOut != "" {
@@ -67,6 +69,31 @@ func main() {
 			fail(err)
 		}
 		fmt.Printf("benchmark summary written to %s (%d sizes, %d ranks)\n", *benchJSON, len(rep.Runs), *ranks)
+		if *benchBase != "" {
+			bf, err := os.Open(*benchBase)
+			if err != nil {
+				fail(err)
+			}
+			baseline, err := bench.ReadReport(bf)
+			bf.Close()
+			if err != nil {
+				fail(err)
+			}
+			bench.CompareTable(baseline, rep).Fprint(os.Stdout)
+			regs, err := bench.Compare(baseline, rep, *benchTol)
+			if err != nil {
+				fail(err)
+			}
+			if len(regs) > 0 {
+				for _, r := range regs {
+					fmt.Fprintln(os.Stderr, "soibench: REGRESSION:", r)
+				}
+				fmt.Fprintf(os.Stderr, "soibench: %d run(s) regressed beyond %.0f%% vs %s\n",
+					len(regs), 100**benchTol, *benchBase)
+				os.Exit(1)
+			}
+			fmt.Printf("benchmark gate passed: no run more than %.0f%% slower than %s\n", 100**benchTol, *benchBase)
+		}
 		return
 	}
 

@@ -1,0 +1,107 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Regression is one benchmark configuration whose end-to-end ns/op got
+// slower than the gate tolerance allows.
+type Regression struct {
+	N       int     // transform size
+	Ranks   int     // in-process ranks
+	Base    int64   // baseline ns/op
+	Current int64   // fresh ns/op
+	Ratio   float64 // Current/Base, e.g. 1.17 = 17% slower
+}
+
+func (r Regression) String() string {
+	return fmt.Sprintf("N=%d ranks=%d: %d ns/op -> %d ns/op (%+.1f%%)",
+		r.N, r.Ranks, r.Base, r.Current, 100*(r.Ratio-1))
+}
+
+// ReadReport parses a BenchReport previously written by WriteJSON and
+// rejects reports from a different schema generation.
+func ReadReport(r io.Reader) (*BenchReport, error) {
+	var rep BenchReport
+	if err := json.NewDecoder(r).Decode(&rep); err != nil {
+		return nil, fmt.Errorf("bench: parse report: %w", err)
+	}
+	if rep.Schema != "soibench/v1" {
+		return nil, fmt.Errorf("bench: unsupported report schema %q", rep.Schema)
+	}
+	return &rep, nil
+}
+
+// Compare matches runs between a committed baseline and a fresh report by
+// (N, Ranks, Segments, Taps) and returns every match whose ns/op exceeds
+// the baseline by more than tol (0.10 = a 10%% regression gate). Runs
+// present in only one report are ignored: adding a size must not trip the
+// gate, and removing one is caught by requiring at least one match.
+// Faster-than-baseline runs never fail; the gate is one-sided.
+func Compare(baseline, current *BenchReport, tol float64) ([]Regression, error) {
+	if tol < 0 {
+		return nil, fmt.Errorf("bench: negative tolerance %v", tol)
+	}
+	type key struct{ n, ranks, segments, taps int }
+	base := make(map[key]BenchRun, len(baseline.Runs))
+	for _, r := range baseline.Runs {
+		base[key{r.N, r.Ranks, r.Segments, r.Taps}] = r
+	}
+	var regs []Regression
+	matched := 0
+	for _, cur := range current.Runs {
+		b, ok := base[key{cur.N, cur.Ranks, cur.Segments, cur.Taps}]
+		if !ok {
+			continue
+		}
+		matched++
+		if b.NSPerOp <= 0 || cur.NSPerOp <= 0 {
+			return nil, fmt.Errorf("bench: non-positive ns/op for N=%d", cur.N)
+		}
+		ratio := float64(cur.NSPerOp) / float64(b.NSPerOp)
+		if ratio > 1+tol {
+			regs = append(regs, Regression{
+				N: cur.N, Ranks: cur.Ranks,
+				Base: b.NSPerOp, Current: cur.NSPerOp, Ratio: ratio,
+			})
+		}
+	}
+	if matched == 0 {
+		return nil, fmt.Errorf("bench: no runs in common between baseline (%d runs) and current (%d runs)",
+			len(baseline.Runs), len(current.Runs))
+	}
+	sort.Slice(regs, func(i, j int) bool { return regs[i].Ratio > regs[j].Ratio })
+	return regs, nil
+}
+
+// CompareTable renders a human-readable side-by-side of every matched
+// run, regression or not, for the CI log.
+func CompareTable(baseline, current *BenchReport) *Table {
+	t := &Table{
+		Title:  "benchmark vs committed baseline",
+		Header: []string{"N", "ranks", "baseline ns/op", "current ns/op", "delta %"},
+	}
+	type key struct{ n, ranks, segments, taps int }
+	base := make(map[key]BenchRun, len(baseline.Runs))
+	for _, r := range baseline.Runs {
+		base[key{r.N, r.Ranks, r.Segments, r.Taps}] = r
+	}
+	for _, cur := range current.Runs {
+		b, ok := base[key{cur.N, cur.Ranks, cur.Segments, cur.Taps}]
+		if !ok || b.NSPerOp <= 0 {
+			continue
+		}
+		delta := 100 * (float64(cur.NSPerOp)/float64(b.NSPerOp) - 1)
+		t.AddRow(
+			fmt.Sprintf("%d", cur.N),
+			fmt.Sprintf("%d", cur.Ranks),
+			fmt.Sprintf("%d", b.NSPerOp),
+			fmt.Sprintf("%d", cur.NSPerOp),
+			fmt.Sprintf("%+.1f", delta),
+		)
+	}
+	return t
+}

@@ -1,0 +1,123 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func report(runs ...BenchRun) *BenchReport {
+	return &BenchReport{Schema: "soibench/v1", Runs: runs}
+}
+
+func run(n int, ns int64) BenchRun {
+	return BenchRun{N: n, Ranks: 4, Segments: 8, Taps: 72, NSPerOp: ns}
+}
+
+func TestCompareFlagsRegressions(t *testing.T) {
+	base := report(run(1<<14, 1000), run(1<<16, 5000), run(1<<18, 20000))
+	cur := report(run(1<<14, 1050), run(1<<16, 6000), run(1<<18, 18000))
+	regs, err := Compare(base, cur, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only 1<<16 is >10% slower; 1<<14 is +5%, 1<<18 is faster.
+	if len(regs) != 1 {
+		t.Fatalf("got %d regressions, want 1: %v", len(regs), regs)
+	}
+	r := regs[0]
+	if r.N != 1<<16 || r.Base != 5000 || r.Current != 6000 {
+		t.Errorf("wrong regression reported: %+v", r)
+	}
+	if r.Ratio < 1.19 || r.Ratio > 1.21 {
+		t.Errorf("ratio = %v, want 1.2", r.Ratio)
+	}
+	if !strings.Contains(r.String(), "+20.0%") {
+		t.Errorf("String() = %q, want +20.0%% delta", r.String())
+	}
+}
+
+func TestCompareSortsWorstFirst(t *testing.T) {
+	base := report(run(1, 1000), run(2, 1000), run(3, 1000))
+	cur := report(run(1, 1200), run(2, 1900), run(3, 1500))
+	regs, err := Compare(base, cur, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 3 || regs[0].N != 2 || regs[1].N != 3 || regs[2].N != 1 {
+		t.Fatalf("not sorted worst-first: %v", regs)
+	}
+}
+
+func TestCompareIgnoresUnmatchedRuns(t *testing.T) {
+	base := report(run(1<<14, 1000))
+	// A new size in the current report must not trip the gate.
+	cur := report(run(1<<14, 1000), run(1<<16, 999999))
+	regs, err := Compare(base, cur, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 0 {
+		t.Fatalf("unmatched run tripped the gate: %v", regs)
+	}
+	// Different configuration (ranks) of the same N must not match either.
+	other := run(1<<14, 5000)
+	other.Ranks = 8
+	regs, err = Compare(base, report(run(1<<14, 1000), other), 0.10)
+	if err != nil || len(regs) != 0 {
+		t.Fatalf("config mismatch matched: %v %v", regs, err)
+	}
+}
+
+func TestCompareErrors(t *testing.T) {
+	base := report(run(1<<14, 1000))
+	if _, err := Compare(base, report(run(1<<16, 1000)), 0.10); err == nil {
+		t.Error("disjoint reports: want error")
+	}
+	if _, err := Compare(base, report(run(1<<14, 0)), 0.10); err == nil {
+		t.Error("zero ns/op: want error")
+	}
+	if _, err := Compare(base, report(run(1<<14, 1000)), -0.5); err == nil {
+		t.Error("negative tolerance: want error")
+	}
+}
+
+func TestReadReportRoundTrip(t *testing.T) {
+	rep := report(run(1<<14, 1234))
+	rep.GoVersion = "go1.22"
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadReport(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Runs) != 1 || got.Runs[0].NSPerOp != 1234 || got.GoVersion != "go1.22" {
+		t.Errorf("round trip mangled report: %+v", got)
+	}
+
+	if _, err := ReadReport(strings.NewReader(`{"schema":"soibench/v999"}`)); err == nil {
+		t.Error("wrong schema: want error")
+	}
+	if _, err := ReadReport(strings.NewReader(`not json`)); err == nil {
+		t.Error("bad JSON: want error")
+	}
+}
+
+func TestCompareTableListsAllMatches(t *testing.T) {
+	base := report(run(1<<14, 1000), run(1<<16, 5000))
+	cur := report(run(1<<14, 900), run(1<<16, 5100))
+	tab := CompareTable(base, cur)
+	if len(tab.Rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(tab.Rows))
+	}
+	var buf bytes.Buffer
+	tab.Fprint(&buf)
+	out := buf.String()
+	for _, want := range []string{"-10.0", "+2.0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table output missing %q:\n%s", want, out)
+		}
+	}
+}

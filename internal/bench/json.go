@@ -100,15 +100,28 @@ func measureRun(n, ranks, segments, taps int) (BenchRun, error) {
 	if err := oneRun(); err != nil { // warm-up: plan twiddles, page-in
 		return run, err
 	}
+	// Best-of-3: the regression gate compares ns/op across CI runners, so
+	// we report the minimum — the run least disturbed by scheduler noise —
+	// rather than a single-shot sample.
+	var best time.Duration
+	for rep := 0; rep < 3; rep++ {
+		t0 := time.Now()
+		if err := oneRun(); err != nil {
+			return run, err
+		}
+		if elapsed := time.Since(t0); rep == 0 || elapsed < best {
+			best = elapsed
+		}
+	}
+	run.NSPerOp = best.Nanoseconds()
+	flops := 5 * float64(n) * math.Log2(float64(n))
+	run.GFlopsPerSec = flops / float64(best.Nanoseconds())
+	// One extra instrumented run for the per-stage breakdown, kept out of
+	// the timed loop so the timers never skew the gated number.
 	pl.SetRecorder(instrument.New(instrument.LevelTimers))
-	t0 := time.Now()
 	if err := oneRun(); err != nil {
 		return run, err
 	}
-	elapsed := time.Since(t0)
-	run.NSPerOp = elapsed.Nanoseconds()
-	flops := 5 * float64(n) * math.Log2(float64(n))
-	run.GFlopsPerSec = flops / float64(elapsed.Nanoseconds())
 	snap := pl.Recorder().Snapshot()
 	for _, st := range snap.Stages {
 		if st.Calls == 0 {

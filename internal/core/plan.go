@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/cmplx"
 	"sync"
+	"sync/atomic"
 
 	"soifft/internal/fft"
 	"soifft/internal/instrument"
@@ -26,6 +27,14 @@ type Plan struct {
 	// wt is the weight tensor, indexed wt[(r*B+b)*P+i] for row phase
 	// r ∈ [0,μ), tap b ∈ [0,B), lane i ∈ [0,P).
 	wt []complex128
+	// The weight tensor factors exactly: wt[(r,b,i)] =
+	// hre[(r*B+b)*P+i] · phase[r*P+i], with hre real. The hot
+	// convolution kernel works on this split form — a real·complex MAC
+	// is half the flops and half the tap-table traffic of the
+	// complex·complex one, and all μ tap slabs (μ·B·P float64) fit in
+	// L1/L2 where the full complex tensor does not.
+	hre   []float64
+	phase []complex128
 	// dstart[r] = ⌊r·ν/μ⌋, the extra start-block offset of row phase r.
 	dstart []int
 	// invW[k] = 1/ŵ(k) for k ∈ [0,M): the demodulation diagonal.
@@ -49,14 +58,21 @@ type Plan struct {
 	ws sync.Pool // *workspace, reused across Transform calls
 }
 
-// workspace holds the per-transform scratch buffers so steady-state
-// Transform calls allocate nothing beyond goroutine bookkeeping.
+// workspace holds the per-transform scratch buffers and timing cells so
+// steady-state Transform calls allocate nothing (the serial path is
+// exactly zero allocations; with workers > 1 only goroutine bookkeeping
+// remains). The atomics live here rather than on the stack because the
+// parallel path's closures would otherwise force a heap allocation per
+// transform.
 type workspace struct {
 	ext  []complex128 // input + halo, N + (B−1)P
 	conv []complex128 // convolution output, N'
 	v    []complex128 // after I⊗F_P, N'
 	seg  []complex128 // segment-major permutation, N'
 	yb   []complex128 // segment spectra, N'
+
+	busyConv, nsScatter atomic.Int64 // pass A worker busy / scatter slices
+	busySeg, nsDemod    atomic.Int64 // pass B worker busy / demod slices
 }
 
 // NewPlan validates p, designs a window if none is given, and precomputes
@@ -118,15 +134,27 @@ func (pl *Plan) buildWeights() {
 		pl.dstart[r] = r * p.Nu / p.Mu
 	}
 	pl.wt = make([]complex128, p.Mu*p.B*p.P)
+	pl.hre = make([]float64, p.Mu*p.B*p.P)
+	pl.phase = make([]complex128, p.Mu*p.P)
 	scale := float64(p.Nu) / float64(p.Mu)
 	for r := 0; r < p.Mu; r++ {
 		rOff := float64(r)*scale + float64(p.B)/2 - float64(pl.dstart[r])
+		// exp(iπα) = exp(iπ(rOff−i/P)) · (−1)^b exactly (b integer), so
+		// the phase depends on (r, i) only and the tap table is real.
+		for i := 0; i < p.P; i++ {
+			pl.phase[r*p.P+i] = cmplx.Exp(complex(0, math.Pi*(rOff-float64(i)/float64(p.P))))
+		}
 		for b := 0; b < p.B; b++ {
+			sign := scale
+			if b&1 == 1 {
+				sign = -scale
+			}
 			for i := 0; i < p.P; i++ {
 				alpha := rOff - float64(b) - float64(i)/float64(p.P)
 				h := pl.win.HTime(alpha)
 				phase := cmplx.Exp(complex(0, math.Pi*alpha))
 				pl.wt[(r*p.B+b)*p.P+i] = complex(scale*h, 0) * phase
+				pl.hre[(r*p.B+b)*p.P+i] = sign * h
 			}
 		}
 	}

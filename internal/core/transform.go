@@ -6,7 +6,6 @@ import (
 	"math"
 	"runtime"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"soifft/internal/instrument"
@@ -27,6 +26,12 @@ func (pl *Plan) tracerFor(ctx context.Context) (*trace.Tracer, trace.ID) {
 // PhaseTimes records wall time per pipeline stage of one transform; it
 // feeds the performance-model calibration and the op-count ablation
 // (paper Section 7.4 measures convolution time ≈ FFT time within SOI).
+//
+// The shared-memory pipeline runs fused (the permutation happens tile by
+// tile inside the convolution pass, demodulation segment by segment
+// inside the FFT pass), so Transpose and Demod report the accumulated
+// time of those fused slices and Convolve/SegmentFT the remainder of
+// their pass walls.
 type PhaseTimes struct {
 	Convolve  time.Duration // W·x plus the fused I_M'⊗F_P stage
 	Transpose time.Duration // the stride-P permutation (shared-memory form)
@@ -92,72 +97,46 @@ func (pl *Plan) transform(ctx context.Context, dst, src []complex128) (PhaseTime
 	copy(xext[p.N:], src[:pl.HaloLen()])
 	tr.End(tid, 0, instrument.StageHalo.String())
 
-	// Stage 1+2 fused: convolution blocks and their P-point FFTs.
+	// Pass A — stages 1+2+3 fused per tile: convolution, P-point FFTs and
+	// the stride-P scatter into segment-major layout run tile by tile, so
+	// each tile's FFT and permutation read convolution output that is
+	// still cache-hot, and (with workers > 1) the FFT/scatter of one tile
+	// overlaps the convolution of the next across goroutines. The
+	// standalone full-array transpose sweep of the unfused pipeline is
+	// gone.
+	ws.busyConv.Store(0)
+	ws.nsScatter.Store(0)
+	ws.busySeg.Store(0)
+	ws.nsDemod.Store(0)
 	tr.Begin(tid, 0, instrument.StageConvolve.String())
-	v := ws.v
-	var convBusy atomic.Int64
-	parfor(workers, pl.mp, func(jLo, jHi int) {
-		var w0 time.Time
-		if timed {
-			w0 = time.Now()
-		}
-		tmp := ws.conv[jLo*p.P : jHi*p.P]
-		pl.ConvolveRange(tmp, xext, jLo, jHi, 0)
-		pl.fftP.Batch(v[jLo*p.P:jHi*p.P], tmp, jHi-jLo)
-		if timed {
-			convBusy.Add(int64(time.Since(w0)))
-		}
-	})
-	pt.Convolve = time.Since(t0)
+	if workers <= 1 {
+		pl.convPass(ws, 0, pl.mp, timed)
+	} else {
+		parfor(workers, pl.mp, func(jLo, jHi int) {
+			pl.convPass(ws, jLo, jHi, timed)
+		})
+	}
+	pt.Transpose = time.Duration(ws.nsScatter.Load())
+	pt.Convolve = time.Since(t0) - pt.Transpose
 	tr.End(tid, 0, instrument.StageConvolve.String())
 	if err := ctx.Err(); err != nil {
 		return pt, err
 	}
 
-	// Stage 3: stride-P permutation, gathering each segment contiguously.
-	t0 = time.Now()
-	tr.Begin(tid, 0, instrument.StageExchange.String())
-	seg := ws.seg
-	transpose(seg, v, pl.mp, p.P, workers)
-	pt.Transpose = time.Since(t0)
-	tr.End(tid, 0, instrument.StageExchange.String())
-	if err := ctx.Err(); err != nil {
-		return pt, err
-	}
-
-	// Stage 4: per-segment M'-point FFTs.
+	// Pass B — stages 4+5 fused per segment: the M'-point FFT of segment
+	// s feeds straight into its demodulation while the spectrum is hot.
 	t0 = time.Now()
 	tr.Begin(tid, 0, instrument.StageSegmentFFT.String())
-	ybuf := ws.yb
-	var segBusy atomic.Int64
-	parfor(workers, p.P, func(sLo, sHi int) {
-		var w0 time.Time
-		if timed {
-			w0 = time.Now()
-		}
-		for s := sLo; s < sHi; s++ {
-			pl.fftMP.Forward(ybuf[s*pl.mp:(s+1)*pl.mp], seg[s*pl.mp:(s+1)*pl.mp])
-		}
-		if timed {
-			segBusy.Add(int64(time.Since(w0)))
-		}
-	})
-	pt.SegmentFT = time.Since(t0)
-	tr.End(tid, 0, instrument.StageSegmentFFT.String())
-	if err := ctx.Err(); err != nil {
-		return pt, err
+	if workers <= 1 {
+		pl.segPass(ws, dst, 0, p.P, timed)
+	} else {
+		parfor(workers, p.P, func(sLo, sHi int) {
+			pl.segPass(ws, dst, sLo, sHi, timed)
+		})
 	}
-
-	// Stage 5: project to the top M entries of each segment, demodulate.
-	t0 = time.Now()
-	tr.Begin(tid, 0, instrument.StageDemod.String())
-	parfor(workers, p.P, func(sLo, sHi int) {
-		for s := sLo; s < sHi; s++ {
-			pl.Demodulate(dst[s*pl.m:(s+1)*pl.m], ybuf[s*pl.mp:(s+1)*pl.mp])
-		}
-	})
-	pt.Demod = time.Since(t0)
-	tr.End(tid, 0, instrument.StageDemod.String())
+	pt.Demod = time.Duration(ws.nsDemod.Load())
+	pt.SegmentFT = time.Since(t0) - pt.Demod
+	tr.End(tid, 0, instrument.StageSegmentFFT.String())
 
 	if rec.On() {
 		rec.AddTransform()
@@ -166,13 +145,74 @@ func (pl *Plan) transform(ctx context.Context, dst, src []complex128) (PhaseTime
 			wall = PhaseTimes{} // counters level: events and FLOPs only
 		}
 		rec.ObserveStage(instrument.StageConvolve, wall.Convolve,
-			time.Duration(convBusy.Load()), workers, pl.convStageFlops())
+			time.Duration(ws.busyConv.Load()), workers, pl.convStageFlops())
 		rec.ObserveStage(instrument.StageExchange, wall.Transpose, 0, workers, 0)
 		rec.ObserveStage(instrument.StageSegmentFFT, wall.SegmentFT,
-			time.Duration(segBusy.Load()), workers, pl.segmentStageFlops())
+			time.Duration(ws.busySeg.Load()), workers, pl.segmentStageFlops())
 		rec.ObserveStage(instrument.StageDemod, wall.Demod, 0, workers, pl.demodStageFlops())
 	}
 	return pt, nil
+}
+
+// convTileRows is the tile height of the fused convolve→F_P→scatter
+// pass: 256 rows × P lanes × 16 B ≈ 32 KiB per tile buffer at P = 8, so
+// a tile's convolution output is still in L1/L2 when its FFTs and its
+// scatter run.
+const convTileRows = 256
+
+// convPass runs the fused stage-1/2/3 pipeline for rows [jLo, jHi):
+// convolve a tile of rows, apply the P-point FFT batch to it, scatter it
+// into segment-major layout, then move to the next tile. Disjoint row
+// ranges touch disjoint cells of every buffer, so ranges may run
+// concurrently; per-call timing lands in the workspace atomics.
+func (pl *Plan) convPass(ws *workspace, jLo, jHi int, timed bool) {
+	var w0 time.Time
+	if timed {
+		w0 = time.Now()
+	}
+	lanes := pl.prm.P
+	mp := pl.mp
+	seg := ws.seg
+	var scat int64
+	for t := jLo; t < jHi; t += convTileRows {
+		tEnd := min(t+convTileRows, jHi)
+		tmp := ws.conv[t*lanes : tEnd*lanes]
+		v := ws.v[t*lanes : tEnd*lanes]
+		pl.ConvolveRange(tmp, ws.ext, t, tEnd, 0)
+		pl.fftP.Batch(v, tmp, tEnd-t)
+		s0 := time.Now()
+		for s := 0; s < lanes; s++ {
+			sgr := seg[s*mp:]
+			for j := t; j < tEnd; j++ {
+				sgr[j] = v[(j-t)*lanes+s]
+			}
+		}
+		scat += int64(time.Since(s0))
+	}
+	ws.nsScatter.Add(scat)
+	if timed {
+		ws.busyConv.Add(int64(time.Since(w0)))
+	}
+}
+
+// segPass runs the fused stage-4/5 pipeline for segments [sLo, sHi):
+// each segment's M'-point FFT feeds its demodulation immediately.
+func (pl *Plan) segPass(ws *workspace, dst []complex128, sLo, sHi int, timed bool) {
+	var w0 time.Time
+	if timed {
+		w0 = time.Now()
+	}
+	var dem int64
+	for s := sLo; s < sHi; s++ {
+		pl.fftMP.Forward(ws.yb[s*pl.mp:(s+1)*pl.mp], ws.seg[s*pl.mp:(s+1)*pl.mp])
+		d0 := time.Now()
+		pl.Demodulate(dst[s*pl.m:(s+1)*pl.m], ws.yb[s*pl.mp:(s+1)*pl.mp])
+		dem += int64(time.Since(d0))
+	}
+	ws.nsDemod.Add(dem)
+	if timed {
+		ws.busySeg.Add(int64(time.Since(w0)))
+	}
 }
 
 // ConvolveRange computes output blocks j ∈ [jLo, jHi) of the convolution
@@ -184,7 +224,62 @@ func (pl *Plan) transform(ctx context.Context, dst, src []complex128) (PhaseTime
 //
 // Each output element is a length-B stride-P inner product with one of μ
 // weight rows (paper Section 6, loops a–d).
+//
+// The kernel exploits the exact factorization of the weight tensor into
+// a real tap table and a per-(r, i) phase (see buildWeights): each lane
+// is a real·complex dot product over one contiguous B·P input slab —
+// half the arithmetic and half the table traffic of the complex MAC
+// form — followed by a single complex multiply by the lane phase.
 func (pl *Plan) ConvolveRange(dst, src []complex128, jLo, jHi, colOff int) {
+	p := pl.prm
+	lanes, taps := p.P, p.B
+	for j := jLo; j < jHi; j++ {
+		g, r := j/p.Mu, j%p.Mu
+		start := (g*p.Nu+pl.dstart[r])*lanes - colOff
+		h := pl.hre[r*taps*lanes : (r*taps+taps)*lanes]
+		xs := src[start : start+taps*lanes]
+		ph := pl.phase[r*lanes : (r+1)*lanes]
+		out := dst[(j-jLo)*lanes : (j-jLo+1)*lanes]
+		convDot(out, h, xs, ph, lanes)
+	}
+}
+
+// convDot computes out[i] = ph[i] · Σ_b h[b·lanes+i]·x[b·lanes+i] for
+// each lane. h and x are one row's contiguous tap slab (len B·lanes);
+// the per-lane walk is lanes-strided but the whole slab is L1-resident.
+// Two accumulator pairs per lane break the add dependency chain.
+func convDot(out []complex128, h []float64, x []complex128, ph []complex128, lanes int) {
+	n := len(h)
+	if len(x) < n {
+		n = len(x)
+	}
+	step := 2 * lanes
+	for i := range out {
+		var re0, im0, re1, im1 float64
+		k := i
+		for ; k+lanes < n; k += step {
+			h0, x0 := h[k], x[k]
+			re0 += h0 * real(x0)
+			im0 += h0 * imag(x0)
+			h1, x1 := h[k+lanes], x[k+lanes]
+			re1 += h1 * real(x1)
+			im1 += h1 * imag(x1)
+		}
+		if k < n {
+			h0, x0 := h[k], x[k]
+			re0 += h0 * real(x0)
+			im0 += h0 * imag(x0)
+		}
+		p := ph[i]
+		re, im := re0+re1, im0+im1
+		out[i] = complex(re*real(p)-im*imag(p), re*imag(p)+im*real(p))
+	}
+}
+
+// convolveRangeRef is the pre-factorization reference kernel operating
+// on the full complex weight tensor. It is retained as the ground truth
+// the fast path is tested against (TestConvolveRangeMatchesReference).
+func (pl *Plan) convolveRangeRef(dst, src []complex128, jLo, jHi, colOff int) {
 	p := pl.prm
 	for j := jLo; j < jHi; j++ {
 		g, r := j/p.Mu, j%p.Mu
@@ -238,26 +333,6 @@ func (pl *Plan) SegmentFFT(dst, src []complex128) { pl.fftMP.Forward(dst, src) }
 // the distributed driver).
 func (pl *Plan) BlockFFTBatch(dst, src []complex128, count int) {
 	pl.fftP.Batch(dst, src, count)
-}
-
-// transpose writes dst[s*rows + j] = src[j*cols + s] for an rows×cols
-// src, using simple cache blocking and row-band parallelism.
-func transpose(dst, src []complex128, rows, cols, workers int) {
-	const blk = 64
-	parfor(workers, rows, func(lo, hi int) {
-		for jb := lo; jb < hi; jb += blk {
-			jEnd := min(jb+blk, hi)
-			for sb := 0; sb < cols; sb += blk {
-				sEnd := min(sb+blk, cols)
-				for j := jb; j < jEnd; j++ {
-					row := src[j*cols:]
-					for s := sb; s < sEnd; s++ {
-						dst[s*rows+j] = row[s]
-					}
-				}
-			}
-		}
-	})
 }
 
 // parfor splits [0, n) into one contiguous span per worker.

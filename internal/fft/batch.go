@@ -11,6 +11,15 @@ import (
 func (p *Plan) Batch(dst, src []complex128, count int) {
 	p.checkBatch(dst, src, count)
 	n := p.n
+	if c := p.codelet; c != nil {
+		// Tiny transforms: one indirect call per vector, no per-call
+		// length checks or stage dispatch. This is the I⊗F_P hot loop of
+		// the SOI pipeline (count ≈ M' calls per transform).
+		for i := 0; i < count; i++ {
+			c(dst[i*n:(i+1)*n], src[i*n:(i+1)*n])
+		}
+		return
+	}
 	for i := 0; i < count; i++ {
 		p.Forward(dst[i*n:(i+1)*n], src[i*n:(i+1)*n])
 	}

@@ -1,0 +1,81 @@
+package fft
+
+// Codelets: fully unrolled DFTs for the tiny lengths that sit on the SOI
+// hot path. The I⊗F_P stage of the SOI pipeline applies one P-point DFT
+// per convolution block — for N = 2^20 at P = 8 that is 160k+ plan
+// invocations per transform — so these sizes bypass the generic Stockham
+// machinery (stage dispatch, twiddle loads that are all 1 for a
+// single-stage plan, scratch ping-pong) entirely. Each codelet reads all
+// of src into locals before writing dst, so dst == src (in-place) is
+// safe without a scratch copy.
+
+// codeletFunc is a direct small-n DFT: dst = DFT_n(src).
+type codeletFunc func(dst, src []complex128)
+
+// codeletFor returns the unrolled kernel for n, or nil when n has none.
+func codeletFor(n int) codeletFunc {
+	switch n {
+	case 1:
+		return codelet1
+	case 2:
+		return codelet2
+	case 4:
+		return codelet4
+	case 8:
+		return codelet8
+	}
+	return nil
+}
+
+func codelet1(dst, src []complex128) { dst[0] = src[0] }
+
+func codelet2(dst, src []complex128) {
+	a, b := src[0], src[1]
+	dst[0] = a + b
+	dst[1] = a - b
+}
+
+func codelet4(dst, src []complex128) {
+	a, b, c, d := src[0], src[1], src[2], src[3]
+	t0 := a + c
+	t1 := a - c
+	t2 := b + d
+	bd := b - d
+	t3 := complex(imag(bd), -real(bd)) // -i·(b-d), forward sign
+	dst[0] = t0 + t2
+	dst[1] = t1 + t3
+	dst[2] = t0 - t2
+	dst[3] = t1 - t3
+}
+
+func codelet8(dst, src []complex128) {
+	const rt = 0.7071067811865476 // √2/2
+	a0, a1, a2, a3 := src[0], src[1], src[2], src[3]
+	a4, a5, a6, a7 := src[4], src[5], src[6], src[7]
+	// Even half: radix-4 on a_t + a_{t+4}.
+	b0, b1, b2, b3 := a0+a4, a1+a5, a2+a6, a3+a7
+	c0, c1 := b0+b2, b0-b2
+	c2 := b1 + b3
+	d := b1 - b3
+	c3 := complex(imag(d), -real(d)) // -i·(b1-b3)
+	// Odd half: radix-4 on (a_t − a_{t+4})·ω8^t.
+	d0 := a0 - a4
+	t1 := a1 - a5
+	d1 := complex(rt*(real(t1)+imag(t1)), rt*(imag(t1)-real(t1))) // ·ω8
+	t2 := a2 - a6
+	d2 := complex(imag(t2), -real(t2)) // ·(−i)
+	t3 := a3 - a7
+	d3 := complex(rt*(imag(t3)-real(t3)), -rt*(real(t3)+imag(t3))) // ·ω8³
+	e0, e1 := d0+d2, d0-d2
+	e2 := d1 + d3
+	ed := d1 - d3
+	e3 := complex(imag(ed), -real(ed))
+	dst[0] = c0 + c2
+	dst[1] = e0 + e2
+	dst[2] = c1 + c3
+	dst[3] = e1 + e3
+	dst[4] = c0 - c2
+	dst[5] = e0 - e2
+	dst[6] = c1 - c3
+	dst[7] = e1 - e3
+}

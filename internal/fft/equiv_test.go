@@ -1,0 +1,110 @@
+package fft
+
+import (
+	"math"
+	"testing"
+)
+
+// TestKernelEquivalenceRadix2Reference pins the production power-of-two
+// path — tiny-size codelets, the stride-1 first-pass kernels and the
+// radix-4/8 passes — to a pure radix-2 decomposition of the same length.
+// The radix-2 kernel is the simplest possible butterfly, so agreement to
+// machine precision across sizes certifies every faster kernel.
+func TestKernelEquivalenceRadix2Reference(t *testing.T) {
+	for n := 2; n <= 1<<14; n *= 2 {
+		src := randomVec(n, int64(n)+17)
+
+		// Reference: pure radix-2 Stockham passes.
+		radices := make([]int, 0, 14)
+		for m := n; m > 1; m /= 2 {
+			radices = append(radices, 2)
+		}
+		want := runStages(n, radices, src)
+
+		// Production path (codelet for n ≤ 8, radix-8/4 otherwise).
+		p, err := NewPlan(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := make([]complex128, n)
+		p.Forward(got, src)
+
+		// Machine precision: both are O(log n)-depth summations of the
+		// same data, so errors stay within a few ulps of each other.
+		tol := 1e-13 * math.Sqrt(float64(n))
+		if e := relErr(got, want); e > tol {
+			t.Errorf("n=%d: production path differs from radix-2 reference by %.3e (tol %.3e)", n, e, tol)
+		}
+	}
+}
+
+// TestCodeletsMatchDirectDFT checks each unrolled codelet against the
+// O(n²) direct DFT, including the in-place (dst == src) contract.
+func TestCodeletsMatchDirectDFT(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8} {
+		c := codeletFor(n)
+		if c == nil {
+			t.Fatalf("n=%d: expected a codelet", n)
+		}
+		src := randomVec(n, int64(n)*3+1)
+		want := make([]complex128, n)
+		Direct(want, src)
+
+		got := make([]complex128, n)
+		c(got, src)
+		if e := relErr(got, want); e > 1e-14 {
+			t.Errorf("n=%d: codelet differs from direct DFT by %.3e", n, e)
+		}
+
+		inPlace := append([]complex128(nil), src...)
+		c(inPlace, inPlace)
+		for i := range got {
+			if got[i] != inPlace[i] {
+				t.Errorf("n=%d: in-place codelet differs at %d", n, i)
+			}
+		}
+	}
+}
+
+// TestStride1KernelsBitIdenticalToGeneral verifies the s==1 first-pass
+// specializations produce bit-identical output to the general-stride
+// kernels they replace: same operations in the same order, so not even
+// the last ulp may move.
+func TestStride1KernelsBitIdenticalToGeneral(t *testing.T) {
+	cases := []struct {
+		radix int
+		gen   func(*stage, []complex128, []complex128, int, int)
+		spec  func(*stage, []complex128, []complex128, int, int)
+	}{
+		{2, stageRadix2, stageRadix2S1},
+		{4, stageRadix4, stageRadix4S1},
+		{8, stageRadix8, stageRadix8S1},
+	}
+	const m = 96
+	for _, tc := range cases {
+		n := tc.radix * m
+		st := buildStages(n, []int{tc.radix, m})[0]
+		if st.s != 1 {
+			t.Fatalf("radix %d: first stage stride %d, want 1", tc.radix, st.s)
+		}
+		src := randomVec(n, int64(tc.radix)*7+5)
+		a := make([]complex128, n)
+		b := make([]complex128, n)
+		tc.gen(&st, src, a, 0, st.m)
+		tc.spec(&st, src, b, 0, st.m)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("radix %d: s==1 kernel differs at %d: %v vs %v", tc.radix, i, a[i], b[i])
+			}
+		}
+		// Split ranges must agree too (the parallel-path invariant).
+		c := make([]complex128, n)
+		tc.spec(&st, src, c, 0, st.m/3)
+		tc.spec(&st, src, c, st.m/3, st.m)
+		for i := range a {
+			if a[i] != c[i] {
+				t.Fatalf("radix %d: split s==1 kernel differs at %d", tc.radix, i)
+			}
+		}
+	}
+}

@@ -40,7 +40,8 @@ type stage struct {
 type Plan struct {
 	n       int
 	stages  []stage
-	blue    *bluestein // non-nil when the length needs the chirp-z path
+	codelet codeletFunc // non-nil for tiny n: direct unrolled DFT
+	blue    *bluestein  // non-nil when the length needs the chirp-z path
 	scratch sync.Pool
 }
 
@@ -61,6 +62,7 @@ func NewPlan(n int) (*Plan, error) {
 		return p, nil
 	}
 	p.stages = buildStages(n, radices)
+	p.codelet = codeletFor(n)
 	return p, nil
 }
 
@@ -136,6 +138,10 @@ func (p *Plan) putScratch(b *[]complex128) { p.scratch.Put(b) }
 // have length n; they may be the same slice, or must not overlap.
 func (p *Plan) Forward(dst, src []complex128) {
 	p.checkLen(dst, src)
+	if p.codelet != nil { // reads everything before writing: in-place safe
+		p.codelet(dst, src)
+		return
+	}
 	if p.blue != nil {
 		p.blue.transform(dst, src)
 		return
@@ -225,6 +231,23 @@ func applyStage(st *stage, x, y []complex128) {
 // applyStageRange runs the pass for sub-blocks [lo, hi) only; disjoint
 // ranges touch disjoint output cells, so ranges may run concurrently.
 func applyStageRange(st *stage, x, y []complex128, lo, hi int) {
+	if st.s == 1 {
+		// The first pass of every plan runs at stride 1: its inner lane
+		// loop is a single iteration, so dedicated kernels that read the
+		// m-strided inputs directly (no per-block slicing) win big — this
+		// pass has the most sub-blocks of any in the plan.
+		switch st.radix {
+		case 2:
+			stageRadix2S1(st, x, y, lo, hi)
+			return
+		case 4:
+			stageRadix4S1(st, x, y, lo, hi)
+			return
+		case 8:
+			stageRadix8S1(st, x, y, lo, hi)
+			return
+		}
+	}
 	switch st.radix {
 	case 2:
 		stageRadix2(st, x, y, lo, hi)

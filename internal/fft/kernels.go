@@ -157,11 +157,87 @@ func stageRadix8(st *stage, x, y []complex128, lo, hi int) {
 	}
 }
 
+// stageRadix2S1 is the stride-1 (first pass) radix-2 kernel: the lane
+// loop collapses to one iteration, so inputs are read m-strided directly.
+func stageRadix2S1(st *stage, x, y []complex128, lo, hi int) {
+	m := st.m
+	for p := lo; p < hi; p++ {
+		a, b := x[p], x[p+m]
+		y[2*p] = a + b
+		y[2*p+1] = (a - b) * st.tw[p]
+	}
+}
+
+// stageRadix4S1 is the stride-1 radix-4 kernel.
+func stageRadix4S1(st *stage, x, y []complex128, lo, hi int) {
+	m := st.m
+	for p := lo; p < hi; p++ {
+		a, b, c, d := x[p], x[p+m], x[p+2*m], x[p+3*m]
+		t0 := a + c
+		t1 := a - c
+		t2 := b + d
+		bd := b - d
+		t3 := complex(imag(bd), -real(bd)) // -i·(b-d), forward sign
+		tw := st.tw[p*3 : p*3+3]
+		yp := y[4*p : 4*p+4]
+		yp[0] = t0 + t2
+		yp[1] = (t1 + t3) * tw[0]
+		yp[2] = (t0 - t2) * tw[1]
+		yp[3] = (t1 - t3) * tw[2]
+	}
+}
+
+// stageRadix8S1 is the stride-1 radix-8 kernel.
+func stageRadix8S1(st *stage, x, y []complex128, lo, hi int) {
+	m := st.m
+	const rt = 0.7071067811865476 // √2/2
+	for p := lo; p < hi; p++ {
+		a0, a1, a2, a3 := x[p], x[p+m], x[p+2*m], x[p+3*m]
+		a4, a5, a6, a7 := x[p+4*m], x[p+5*m], x[p+6*m], x[p+7*m]
+		// Even half: radix-4 on a_t + a_{t+4}.
+		b0, b1, b2, b3 := a0+a4, a1+a5, a2+a6, a3+a7
+		c0, c1 := b0+b2, b0-b2
+		c2 := b1 + b3
+		d := b1 - b3
+		c3 := complex(imag(d), -real(d)) // -i·(b1-b3)
+		// Odd half: radix-4 on (a_t − a_{t+4})·ω8^t.
+		d0 := a0 - a4
+		t1 := a1 - a5
+		d1 := complex(rt*(real(t1)+imag(t1)), rt*(imag(t1)-real(t1))) // ·ω8
+		t2 := a2 - a6
+		d2 := complex(imag(t2), -real(t2)) // ·(−i)
+		t3 := a3 - a7
+		d3 := complex(rt*(imag(t3)-real(t3)), -rt*(real(t3)+imag(t3))) // ·ω8³
+		e0, e1 := d0+d2, d0-d2
+		e2 := d1 + d3
+		ed := d1 - d3
+		e3 := complex(imag(ed), -real(ed))
+		tw := st.tw[p*7 : p*7+7]
+		yp := y[8*p : 8*p+8]
+		yp[0] = c0 + c2
+		yp[1] = (e0 + e2) * tw[0]
+		yp[2] = (c1 + c3) * tw[1]
+		yp[3] = (e1 + e3) * tw[2]
+		yp[4] = (c0 - c2) * tw[3]
+		yp[5] = (e0 - e2) * tw[4]
+		yp[6] = (c1 - c3) * tw[5]
+		yp[7] = (e1 - e3) * tw[6]
+	}
+}
+
 // stageGeneric handles any radix with an O(radix^2) butterfly using the
 // precomputed radix-point roots. It is used for small primes 7..31.
+// The lane buffer lives on the stack (radix ≤ maxSmallPrime), keeping
+// the pass allocation-free.
 func stageGeneric(st *stage, x, y []complex128, lo, hi int) {
 	r, m, s := st.radix, st.m, st.s
-	a := make([]complex128, r)
+	var lanes [maxSmallPrime]complex128
+	var a []complex128
+	if r <= maxSmallPrime {
+		a = lanes[:r]
+	} else { // custom stage lists may use larger composite radices
+		a = make([]complex128, r)
+	}
 	for p := lo; p < hi; p++ {
 		for q := 0; q < s; q++ {
 			for t := 0; t < r; t++ {
