@@ -8,6 +8,7 @@ import (
 	"bufio"
 	"context"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
@@ -228,13 +229,27 @@ func IsOverloaded(err error) (time.Duration, bool) { return serve.IsOverloaded(e
 // IsDraining reports whether err means the server is shutting down.
 func IsDraining(err error) bool { return serve.IsDraining(err) }
 
-// TransformRetry is Transform plus bounded retries on backpressure: it
-// sleeps for the server's retry-after hint (doubling each attempt) and
-// gives up when ctx expires or attempts run out.
+// TransformRetry is Transform plus bounded retries on overload
+// backpressure. Each retry honors the server's RetryAfter hint from
+// that rejection, raised to an exponentially growing floor (for servers
+// that send no hint), capped, and spread with jitter so synchronized
+// clients don't re-collide on the exact hint. It gives up when ctx
+// expires or attempts run out.
+//
+// Only StatusOverloaded retries. A draining server closes the
+// connection after its rejection, so retrying here cannot succeed —
+// redial another replica (or front the tier with soigate, whose router
+// does that failover transparently). Every other status is
+// authoritative for this request and returns immediately.
 func (c *Client) TransformRetry(ctx context.Context, data []complex128, opt *Options, attempts int) ([]complex128, error) {
 	if attempts <= 0 {
 		attempts = 5
 	}
+	const (
+		waitFloor = 10 * time.Millisecond
+		waitCap   = 2 * time.Second
+	)
+	floor := waitFloor
 	var lastErr error
 	for i := 0; i < attempts; i++ {
 		out, err := c.TransformContext(ctx, data, opt)
@@ -246,14 +261,22 @@ func (c *Client) TransformRetry(ctx context.Context, data []complex128, opt *Opt
 		if !ok {
 			return nil, err
 		}
-		if wait <= 0 {
-			wait = 10 * time.Millisecond
+		if wait < floor {
+			wait = floor
 		}
-		wait <<= i
+		if wait > waitCap {
+			wait = waitCap
+		}
+		// Jitter over (wait/2, wait]: on average most of the hint, never
+		// more than it, and never an exact shared instant.
+		wait = wait/2 + time.Duration(rand.Int63n(int64(wait/2)+1))
 		select {
 		case <-ctx.Done():
 			return nil, ctx.Err()
 		case <-time.After(wait):
+		}
+		if floor < waitCap {
+			floor *= 2
 		}
 	}
 	return nil, lastErr

@@ -1,0 +1,243 @@
+package client_test
+
+import (
+	"bufio"
+	"context"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"soifft/client"
+	"soifft/internal/serve"
+)
+
+// startServer runs a real serve.Server on an ephemeral port.
+func startServer(t *testing.T) *serve.Server {
+	t.Helper()
+	s := serve.New(serve.Config{Addr: "127.0.0.1:0"})
+	if err := s.Listen(); err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = s.Serve() }()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+	})
+	return s
+}
+
+// scriptedServer is a minimal wire peer answering every request with
+// the scripted response for its ordinal (the last response repeats),
+// closing the connection after any draining reply like the real server.
+type scriptedServer struct {
+	ln net.Listener
+
+	mu   sync.Mutex
+	n    int
+	resp []*serve.Response
+	wg   sync.WaitGroup
+}
+
+func newScriptedServer(t *testing.T, resp ...*serve.Response) *scriptedServer {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &scriptedServer{ln: ln, resp: resp}
+	s.wg.Add(1)
+	go s.accept()
+	t.Cleanup(func() {
+		_ = ln.Close()
+		s.wg.Wait()
+	})
+	return s
+}
+
+func (s *scriptedServer) addr() string { return s.ln.Addr().String() }
+
+func (s *scriptedServer) seen() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n
+}
+
+func (s *scriptedServer) accept() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer conn.Close()
+			br := bufio.NewReader(conn)
+			bw := bufio.NewWriter(conn)
+			for {
+				req, err := serve.ReadRequest(br, 1<<22)
+				if err != nil {
+					return
+				}
+				s.mu.Lock()
+				i := s.n
+				s.n++
+				s.mu.Unlock()
+				if i >= len(s.resp) {
+					i = len(s.resp) - 1
+				}
+				resp := *s.resp[i]
+				resp.Proto = req.Proto
+				if resp.Status == serve.StatusOK && resp.Data == nil {
+					resp.Data = req.Data
+				}
+				if err := serve.WriteResponse(bw, &resp); err != nil {
+					return
+				}
+				if err := bw.Flush(); err != nil {
+					return
+				}
+				if resp.Status == serve.StatusDraining {
+					return // the real server closes after a draining reply
+				}
+			}
+		}()
+	}
+}
+
+// TestClientReconnectAfterServerRestart pins the redial contract: once
+// a transport failure latches a client broken, it fails fast with a
+// typed error instead of hanging, and a fresh Dial against a restarted
+// server works immediately.
+func TestClientReconnectAfterServerRestart(t *testing.T) {
+	s := startServer(t)
+	addr := s.Addr().String()
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	data := make([]complex128, 64)
+	for i := range data {
+		data[i] = complex(float64(i), 0)
+	}
+	if _, err := c.Transform(data, nil); err != nil {
+		t.Fatalf("transform before restart: %v", err)
+	}
+
+	// Kill the server hard: the expired context severs live connections.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_ = s.Shutdown(ctx)
+
+	// The in-flight connection is now dead; the next request must fail
+	// with a transport error, not hang.
+	c.SetRequestTimeout(2 * time.Second)
+	start := time.Now()
+	if _, err := c.Transform(data, nil); err == nil {
+		t.Fatal("transform on a severed connection succeeded")
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("severed connection did not fail promptly")
+	}
+	// The failure latches: later requests fail fast with the typed
+	// broken-connection error.
+	start = time.Now()
+	_, err = c.Transform(data, nil)
+	if err == nil {
+		t.Fatal("latched client accepted a request")
+	}
+	if !strings.Contains(err.Error(), "connection broken") {
+		t.Errorf("latched error = %q, want a broken-connection error", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Error("latched client did not fail fast")
+	}
+
+	// A restarted server (fresh listener) plus a fresh Dial recovers.
+	s2 := startServer(t)
+	c2, err := client.Dial(s2.Addr().String())
+	if err != nil {
+		t.Fatalf("redial after restart: %v", err)
+	}
+	defer c2.Close()
+	if _, err := c2.Transform(data, nil); err != nil {
+		t.Fatalf("transform after redial: %v", err)
+	}
+}
+
+// TestTransformRetryHonorsRetryAfter checks the retry helper sleeps by
+// the server's hint (jittered within (hint/2, hint]) rather than a
+// fixed schedule, and then succeeds.
+func TestTransformRetryHonorsRetryAfter(t *testing.T) {
+	const hint = 60 * time.Millisecond
+	s := newScriptedServer(t,
+		&serve.Response{Status: serve.StatusOverloaded, RetryAfter: hint, Msg: "queue full"},
+		&serve.Response{Status: serve.StatusOverloaded, RetryAfter: hint, Msg: "queue full"},
+		&serve.Response{Status: serve.StatusOK},
+	)
+	c, err := client.Dial(s.addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	data := make([]complex128, 16)
+	start := time.Now()
+	if _, err := c.TransformRetry(context.Background(), data, nil, 5); err != nil {
+		t.Fatalf("retry should have succeeded on the third attempt: %v", err)
+	}
+	elapsed := time.Since(start)
+	if got := s.seen(); got != 3 {
+		t.Errorf("server saw %d requests, want 3", got)
+	}
+	// Two jittered waits, each in (hint/2, hint]: total in (hint, 2*hint]
+	// plus round-trip time.
+	if elapsed < hint {
+		t.Errorf("retries took %v; hints of %v were not honored", elapsed, hint)
+	}
+	if elapsed > 4*hint+time.Second {
+		t.Errorf("retries took %v; backoff far exceeds the %v hints", elapsed, hint)
+	}
+}
+
+// TestTransformRetryStopsOnNonRetryable checks authoritative statuses
+// return immediately: a bad request is never re-sent, and a draining
+// reply (whose connection the server closes) is surfaced as typed
+// draining instead of burning the remaining attempts.
+func TestTransformRetryStopsOnNonRetryable(t *testing.T) {
+	bad := newScriptedServer(t, &serve.Response{Status: serve.StatusBadRequest, Msg: "no such plan"})
+	c, err := client.Dial(bad.addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	data := make([]complex128, 16)
+	if _, err := c.TransformRetry(context.Background(), data, nil, 5); err == nil {
+		t.Fatal("bad request should fail")
+	}
+	if got := bad.seen(); got != 1 {
+		t.Errorf("bad request was retried: server saw %d requests, want 1", got)
+	}
+
+	drain := newScriptedServer(t, &serve.Response{Status: serve.StatusDraining, RetryAfter: 5 * time.Millisecond})
+	c2, err := client.Dial(drain.addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	start := time.Now()
+	_, err = c2.TransformRetry(context.Background(), data, nil, 5)
+	if !client.IsDraining(err) {
+		t.Fatalf("got %v, want a typed draining error", err)
+	}
+	if got := drain.seen(); got != 1 {
+		t.Errorf("draining was retried on a closed connection: server saw %d requests, want 1", got)
+	}
+	if time.Since(start) > time.Second {
+		t.Error("draining rejection should return immediately, not back off")
+	}
+}

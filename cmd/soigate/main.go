@@ -1,0 +1,199 @@
+// Command soigate runs the sharded serving tier's gateway: a wire-level
+// soiserve peer that routes each transform to a replica by
+// consistent-hashing its PlanKey (warm-plan affinity preserves same-plan
+// batching), spills off overloaded replicas under a bounded-load rule,
+// fails over on transport errors and draining replicas, and applies
+// per-tenant admission control with fair queueing. Existing clients
+// point at the gateway unchanged.
+//
+//	soigate -addr 127.0.0.1:7090 -metrics-addr 127.0.0.1:7091 \
+//	    -replicas "127.0.0.1:7080=http://127.0.0.1:7081,127.0.0.1:7082"
+//
+// names a static replica set: each entry is "addr" or "addr=healthurl"
+// (with a health URL the gateway polls /healthz and reads its JSON body;
+// without one it falls back to protocol pings). Alternatively,
+//
+//	soigate -replicas-file replicas.txt -discovery-interval 5s
+//
+// re-reads a file of "addr [healthurl]" lines (one per replica, # for
+// comments) on the discovery interval, so a fleet manager can scale the
+// tier by rewriting one file. The metrics address serves Prometheus
+// /metrics (per-replica latency histograms and routing counters),
+// /debug/ring (live ring and health snapshot) and /healthz (200 while
+// at least one replica is routable).
+package main
+
+import (
+	"bufio"
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"soifft/internal/gate"
+	"soifft/internal/logutil"
+)
+
+func main() {
+	fs := flag.NewFlagSet("soigate", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:7090", "TCP listen address clients connect to")
+	metricsAddr := fs.String("metrics-addr", "127.0.0.1:7091", "HTTP listen address for /metrics, /debug/ring and /healthz (empty = disabled)")
+	replicas := fs.String("replicas", "", "comma-separated static replica list: addr or addr=healthurl")
+	replicasFile := fs.String("replicas-file", "", "file of 'addr [healthurl]' lines, re-read on -discovery-interval")
+	discoveryInterval := fs.Duration("discovery-interval", 5*time.Second, "replicas-file polling period")
+	healthInterval := fs.Duration("health-interval", 2*time.Second, "replica /healthz polling period")
+	vnodes := fs.Int("vnodes", 64, "consistent-hash ring points per replica")
+	loadFactor := fs.Float64("load-factor", 1.25, "bounded-load spill factor (x the healthy-replica average in-flight; <1 disables)")
+	attemptTimeout := fs.Duration("attempt-timeout", 30*time.Second, "per-replica attempt deadline (dial+write+serve+read)")
+	maxAttempts := fs.Int("max-attempts", 0, "max replica attempts per request (0 = replicas+1)")
+	maxInflight := fs.Int("max-inflight", 1024, "gateway-wide cap on concurrently proxied requests")
+	tenantQueue := fs.Int("tenant-queue", 128, "max waiting requests per tenant before typed backpressure")
+	retryAfter := fs.Duration("retry-after", 50*time.Millisecond, "hint attached to gateway-level rejections")
+	maxN := fs.Int("max-n", 1<<22, "largest accepted transform length")
+	idleTimeout := fs.Duration("idle-timeout", 5*time.Minute, "disconnect clients idle longer than this (0 = never)")
+	writeTimeout := fs.Duration("write-timeout", 30*time.Second, "disconnect clients that stall reading a response (0 = never)")
+	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "graceful drain budget on SIGTERM")
+	logLevel := fs.String("log-level", "info", "log verbosity: debug|info|warn|error")
+	logFormat := fs.String("log-format", "text", "log encoding: text|json")
+	_ = fs.Parse(os.Args[1:])
+
+	logger, err := logutil.New(os.Stderr, *logFormat, *logLevel)
+	if err != nil {
+		fail(err)
+	}
+	if *replicas == "" && *replicasFile == "" {
+		fail(fmt.Errorf("no replicas: set -replicas or -replicas-file"))
+	}
+
+	var specs []gate.ReplicaSpec
+	if *replicas != "" {
+		specs = parseReplicas(*replicas)
+	}
+	if *replicasFile != "" {
+		fromFile, err := readReplicasFile(*replicasFile)
+		if err != nil {
+			fail(err)
+		}
+		specs = append(specs, fromFile...)
+	}
+
+	g := gate.New(gate.Config{
+		Addr: *addr, Replicas: specs,
+		HealthInterval: *healthInterval, VNodes: *vnodes,
+		BoundedLoadFactor: *loadFactor, AttemptTimeout: *attemptTimeout,
+		MaxAttempts: *maxAttempts, MaxInflight: *maxInflight,
+		TenantQueue: *tenantQueue, RetryAfter: *retryAfter, MaxN: *maxN,
+		IdleTimeout: *idleTimeout, WriteTimeout: *writeTimeout,
+		Logger: logger,
+	})
+
+	if err := g.Listen(); err != nil {
+		fail(err)
+	}
+	logger.Info("gateway listening", "addr", g.Addr().String(), "replicas", len(specs))
+
+	if *metricsAddr != "" {
+		ms := &http.Server{Addr: *metricsAddr, Handler: g.Metrics().Handler()}
+		go func() {
+			if err := ms.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				logger.Error("metrics listener failed", "err", err)
+			}
+		}()
+		defer ms.Close()
+		logger.Info("metrics serving", "addr", *metricsAddr, "endpoints", "/metrics /debug/ring /healthz")
+	}
+
+	stopDiscovery := make(chan struct{})
+	if *replicasFile != "" {
+		go func() {
+			t := time.NewTicker(*discoveryInterval)
+			defer t.Stop()
+			for {
+				select {
+				case <-stopDiscovery:
+					return
+				case <-t.C:
+					fromFile, err := readReplicasFile(*replicasFile)
+					if err != nil {
+						logger.Warn("discovery re-read failed", "file", *replicasFile, "err", err)
+						continue
+					}
+					g.SetReplicas(append(parseReplicas(*replicas), fromFile...))
+				}
+			}
+		}()
+	}
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- g.Serve() }()
+
+	select {
+	case err := <-serveDone:
+		if err != nil {
+			fail(err)
+		}
+	case got := <-sigCh:
+		logger.Info("draining", "signal", got.String())
+		close(stopDiscovery)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := g.Shutdown(ctx); err != nil {
+			fail(fmt.Errorf("drain: %w", err))
+		}
+		if err := <-serveDone; err != nil {
+			fail(err)
+		}
+		logger.Info("drained, exiting")
+	}
+}
+
+// parseReplicas parses "addr,addr=healthurl,..." into specs.
+func parseReplicas(s string) []gate.ReplicaSpec {
+	var specs []gate.ReplicaSpec
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		addr, health, _ := strings.Cut(part, "=")
+		specs = append(specs, gate.ReplicaSpec{Addr: addr, HealthURL: health})
+	}
+	return specs
+}
+
+// readReplicasFile parses a discovery file: one "addr [healthurl]" per
+// line, blank lines and #-comments skipped.
+func readReplicasFile(path string) ([]gate.ReplicaSpec, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var specs []gate.ReplicaSpec
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		sp := gate.ReplicaSpec{Addr: fields[0]}
+		if len(fields) > 1 {
+			sp.HealthURL = fields[1]
+		}
+		specs = append(specs, sp)
+	}
+	return specs, sc.Err()
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "soigate:", err)
+	os.Exit(1)
+}

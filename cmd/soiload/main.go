@@ -1,0 +1,128 @@
+// Command soiload drives a soiserve or soigate endpoint with an
+// open-loop Poisson workload and prints an SLO report (latency
+// percentiles, per-status counts, achieved throughput).
+//
+//	soiload -addr 127.0.0.1:7090 -rate 500 -duration 10s \
+//	    -mix "n=4096 b=32 w=3; n=2048 w=1" -check -json slo.json
+//
+// The mix is a semicolon-separated list of plan shapes; each shape is
+// space-separated key=value pairs: n (length, required), p (segments),
+// b (taps), acc (accuracy rung), w (relative weight). -check verifies
+// every response bit-for-bit against a locally computed reference
+// spectrum — zero tolerance for corrupted spectra, the invariant the
+// failover chaos suite leans on.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"soifft/internal/loadgen"
+)
+
+func main() {
+	fs := flag.NewFlagSet("soiload", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:7090", "endpoint under test (gateway or single replica)")
+	rate := fs.Float64("rate", 200, "open-loop Poisson arrival rate, requests/second")
+	duration := fs.Duration("duration", 10*time.Second, "arrival-generation window")
+	inflightCap := fs.Int("inflight", 64, "max concurrent outstanding requests; excess arrivals are dropped, not queued")
+	mixFlag := fs.String("mix", "n=4096", "plan mix: 'n=4096 p=8 b=32 w=3; n=2048 w=1'")
+	seed := fs.Int64("seed", 1, "PRNG seed for arrivals and mix draws")
+	timeout := fs.Duration("timeout", 30*time.Second, "per-request deadline")
+	check := fs.Bool("check", false, "bit-check every response against a local reference spectrum")
+	warmup := fs.Bool("warmup", true, "send one request per mix entry before the measured window")
+	jsonOut := fs.String("json", "", "also write the report as JSON to this file")
+	_ = fs.Parse(os.Args[1:])
+
+	mix, err := parseMix(*mixFlag)
+	if err != nil {
+		fail(err)
+	}
+
+	ctx, cancel := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer cancel()
+	res, err := loadgen.Run(ctx, loadgen.Config{
+		Addr: *addr, Rate: *rate, Duration: *duration,
+		MaxInflight: *inflightCap, Mix: mix, Seed: *seed,
+		RequestTimeout: *timeout, BitCheck: *check, Warmup: *warmup,
+	})
+	if err != nil {
+		fail(err)
+	}
+	fmt.Print(res.String())
+	if *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			fail(err)
+		}
+		if err := res.WriteJSON(f); err != nil {
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+	}
+	if res.Corrupted > 0 || res.Failed > 0 {
+		os.Exit(1)
+	}
+}
+
+// parseMix parses the -mix grammar into loadgen specs.
+func parseMix(s string) ([]loadgen.Spec, error) {
+	var mix []loadgen.Spec
+	for _, entry := range strings.Split(s, ";") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		sp := loadgen.Spec{Accuracy: -1, Weight: 1}
+		for _, kv := range strings.Fields(entry) {
+			key, val, ok := strings.Cut(kv, "=")
+			if !ok {
+				return nil, fmt.Errorf("mix entry %q: want key=value, got %q", entry, kv)
+			}
+			n, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return nil, fmt.Errorf("mix entry %q: %s=%q is not a number", entry, key, val)
+			}
+			switch key {
+			case "n":
+				sp.N = int(n)
+			case "p":
+				sp.Segments = int(n)
+			case "mu":
+				sp.Mu = int(n)
+			case "nu":
+				sp.Nu = int(n)
+			case "b":
+				sp.Taps = int(n)
+			case "acc":
+				sp.Accuracy = int(n)
+			case "w":
+				sp.Weight = n
+			default:
+				return nil, fmt.Errorf("mix entry %q: unknown key %q (want n, p, mu, nu, b, acc or w)", entry, key)
+			}
+		}
+		if sp.N <= 0 {
+			return nil, fmt.Errorf("mix entry %q: n is required and must be positive", entry)
+		}
+		mix = append(mix, sp)
+	}
+	if len(mix) == 0 {
+		return nil, fmt.Errorf("empty mix")
+	}
+	return mix, nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "soiload:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,42 @@
+package main
+
+import (
+	"testing"
+
+	"soifft/internal/loadgen"
+)
+
+func TestParseMix(t *testing.T) {
+	mix, err := parseMix("n=4096 p=8 b=32 w=3; n=2048 w=1; n=1024 mu=5 nu=4 acc=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []loadgen.Spec{
+		{N: 4096, Segments: 8, Taps: 32, Accuracy: -1, Weight: 3},
+		{N: 2048, Accuracy: -1, Weight: 1},
+		{N: 1024, Mu: 5, Nu: 4, Accuracy: 2, Weight: 1},
+	}
+	if len(mix) != len(want) {
+		t.Fatalf("parsed %d specs, want %d", len(mix), len(want))
+	}
+	for i := range want {
+		if mix[i] != want[i] {
+			t.Errorf("spec %d = %+v, want %+v", i, mix[i], want[i])
+		}
+	}
+}
+
+func TestParseMixErrors(t *testing.T) {
+	for _, bad := range []string{
+		"",               // empty mix
+		"p=8",            // n missing
+		"n=0",            // n not positive
+		"n=4096 q=2",     // unknown key
+		"n=4096 b",       // not key=value
+		"n=4096 b=heavy", // not a number
+	} {
+		if _, err := parseMix(bad); err == nil {
+			t.Errorf("parseMix(%q) accepted, want error", bad)
+		}
+	}
+}

@@ -1,0 +1,168 @@
+package gate
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// ErrTenantOverloaded is returned when a tenant's waiting queue is full:
+// the gateway converts it to a typed StatusOverloaded response with the
+// retry-after hint, the same backpressure contract the replicas use.
+var ErrTenantOverloaded = errors.New("gate: tenant queue full")
+
+// admission is the gateway's per-tenant admission controller: a global
+// concurrency cap shared out by round-robin fair queueing across
+// tenants. A tenant that floods the gateway queues behind its own FIFO
+// and, past its queue cap, gets typed backpressure — while a quiet
+// tenant's next request is granted on the next free slot, not behind
+// the flood. Tenants are identified by the client's remote host.
+type admission struct {
+	capacity int // concurrent admitted requests
+	queueCap int // max waiting requests per tenant
+
+	mu       sync.Mutex
+	inflight int
+	tenants  map[string]*tenantQ
+	order    []string // round-robin rotation over tenants with waiters
+	next     int
+}
+
+// tenantQ is one tenant's FIFO of waiters.
+type tenantQ struct {
+	waiters []chan struct{}
+}
+
+func newAdmission(capacity, queueCap int) *admission {
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	if queueCap <= 0 {
+		queueCap = 128
+	}
+	return &admission{
+		capacity: capacity,
+		queueCap: queueCap,
+		tenants:  make(map[string]*tenantQ),
+	}
+}
+
+// admit blocks until the request holds one of the capacity slots (or
+// ctx ends, or the tenant's queue is full). The returned release func
+// must be called exactly once when the request finishes.
+func (a *admission) admit(ctx context.Context, tenant string) (release func(), err error) {
+	a.mu.Lock()
+	if a.inflight < a.capacity && len(a.order) == 0 {
+		a.inflight++
+		a.mu.Unlock()
+		return a.release, nil
+	}
+	q := a.tenants[tenant]
+	if q == nil {
+		q = &tenantQ{}
+		a.tenants[tenant] = q
+	}
+	if len(q.waiters) >= a.queueCap {
+		a.mu.Unlock()
+		return nil, ErrTenantOverloaded
+	}
+	ch := make(chan struct{})
+	q.waiters = append(q.waiters, ch)
+	if len(q.waiters) == 1 {
+		a.order = append(a.order, tenant)
+	}
+	a.mu.Unlock()
+
+	select {
+	case <-ch:
+		return a.release, nil
+	case <-ctx.Done():
+		a.mu.Lock()
+		// The grant may have raced the cancellation: if ch was already
+		// granted, the slot is ours to give back via release.
+		select {
+		case <-ch:
+			a.mu.Unlock()
+			a.release()
+			return nil, ctx.Err()
+		default:
+		}
+		a.removeWaiter(tenant, ch)
+		a.mu.Unlock()
+		return nil, ctx.Err()
+	}
+}
+
+// release frees one slot and grants it to the next waiter, rotating
+// round-robin across tenants so no tenant's backlog starves the rest.
+func (a *admission) release() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.inflight--
+	a.grantLocked()
+}
+
+// grantLocked hands free slots to waiters in round-robin tenant order.
+func (a *admission) grantLocked() {
+	for a.inflight < a.capacity && len(a.order) > 0 {
+		if a.next >= len(a.order) {
+			a.next = 0
+		}
+		tenant := a.order[a.next]
+		q := a.tenants[tenant]
+		if q == nil || len(q.waiters) == 0 {
+			a.order = append(a.order[:a.next], a.order[a.next+1:]...)
+			continue
+		}
+		ch := q.waiters[0]
+		q.waiters = q.waiters[1:]
+		if len(q.waiters) == 0 {
+			delete(a.tenants, tenant)
+			a.order = append(a.order[:a.next], a.order[a.next+1:]...)
+		} else {
+			a.next++
+		}
+		a.inflight++
+		close(ch)
+	}
+	if len(a.order) == 0 {
+		a.next = 0
+	}
+}
+
+// removeWaiter unlinks a cancelled waiter. Callers hold a.mu.
+func (a *admission) removeWaiter(tenant string, ch chan struct{}) {
+	q := a.tenants[tenant]
+	if q == nil {
+		return
+	}
+	for i, w := range q.waiters {
+		if w == ch {
+			q.waiters = append(q.waiters[:i], q.waiters[i+1:]...)
+			break
+		}
+	}
+	if len(q.waiters) == 0 {
+		delete(a.tenants, tenant)
+		for i, t := range a.order {
+			if t == tenant {
+				a.order = append(a.order[:i], a.order[i+1:]...)
+				if a.next > i {
+					a.next--
+				}
+				break
+			}
+		}
+	}
+}
+
+// queued reports the number of waiting requests (for /debug/ring).
+func (a *admission) queued() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	n := 0
+	for _, q := range a.tenants {
+		n += len(q.waiters)
+	}
+	return n
+}

@@ -1,0 +1,186 @@
+package gate
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// admitAsync queues one admit call and reports its grant on a channel.
+func admitAsync(t *testing.T, a *admission, tenant string) (granted chan func(), cancel context.CancelFunc) {
+	t.Helper()
+	granted = make(chan func(), 1)
+	ctx, cancelFn := context.WithCancel(context.Background())
+	go func() {
+		release, err := a.admit(ctx, tenant)
+		if err == nil {
+			granted <- release
+		} else {
+			close(granted)
+		}
+	}()
+	// Give the goroutine time to enqueue before the caller proceeds.
+	time.Sleep(20 * time.Millisecond)
+	return granted, cancelFn
+}
+
+// TestAdmissionFairQueueing is the starvation test: with one slot held
+// and tenant A's backlog queued ahead of tenant B's single request, B
+// is granted on the second release — round-robin across tenants — not
+// behind A's whole flood.
+func TestAdmissionFairQueueing(t *testing.T) {
+	a := newAdmission(1, 16)
+	release, err := a.admit(context.Background(), "holder")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var grants []chan func()
+	var cancels []context.CancelFunc
+	for i := 0; i < 3; i++ {
+		g, c := admitAsync(t, a, "tenantA")
+		grants = append(grants, g)
+		cancels = append(cancels, c)
+	}
+	gB, cB := admitAsync(t, a, "tenantB")
+	cancels = append(cancels, cB)
+	defer func() {
+		for _, c := range cancels {
+			c()
+		}
+	}()
+
+	wait := func(ch chan func(), who string) func() {
+		t.Helper()
+		select {
+		case rel, ok := <-ch:
+			if !ok {
+				t.Fatalf("%s admit failed", who)
+			}
+			return rel
+		case <-time.After(2 * time.Second):
+			t.Fatalf("%s never granted", who)
+			return nil
+		}
+	}
+	assertPending := func(ch chan func(), who string) {
+		t.Helper()
+		select {
+		case <-ch:
+			t.Fatalf("%s granted too early", who)
+		case <-time.After(30 * time.Millisecond):
+		}
+	}
+
+	// First release goes to A (first in rotation)...
+	release()
+	relA := wait(grants[0], "tenantA[0]")
+	assertPending(gB, "tenantB")
+	// ...and the second to B, despite A's remaining backlog of two.
+	relA()
+	relB := wait(gB, "tenantB")
+	assertPending(grants[2], "tenantA[2]")
+	relB()
+	relA1 := wait(grants[1], "tenantA[1]")
+	relA1()
+	relA2 := wait(grants[2], "tenantA[2]")
+	relA2()
+}
+
+// TestAdmissionTenantQueueCap checks a flooding tenant gets the typed
+// rejection once its queue is full, while capacity itself is unchanged.
+func TestAdmissionTenantQueueCap(t *testing.T) {
+	a := newAdmission(1, 2)
+	release, err := a.admit(context.Background(), "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	g1, c1 := admitAsync(t, a, "t")
+	defer c1()
+	g2, c2 := admitAsync(t, a, "t")
+	defer c2()
+	_ = g1
+	_ = g2
+
+	if _, err := a.admit(context.Background(), "t"); !errors.Is(err, ErrTenantOverloaded) {
+		t.Fatalf("third waiter got %v, want ErrTenantOverloaded", err)
+	}
+	// A different tenant still queues fine.
+	_, c3 := admitAsync(t, a, "other")
+	defer c3()
+	if got := a.queued(); got != 3 {
+		t.Errorf("queued() = %d, want 3", got)
+	}
+}
+
+// TestAdmissionCancelledWaiter checks a cancelled waiter releases its
+// queue slot and never consumes capacity.
+func TestAdmissionCancelledWaiter(t *testing.T) {
+	a := newAdmission(1, 4)
+	release, err := a.admit(context.Background(), "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := a.admit(ctx, "t")
+		errCh <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	if err := <-errCh; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled waiter got %v", err)
+	}
+	if got := a.queued(); got != 0 {
+		t.Errorf("queued() = %d after cancellation, want 0", got)
+	}
+	// Capacity is fully available again after release.
+	release()
+	done := make(chan struct{})
+	go func() {
+		rel, err := a.admit(context.Background(), "t")
+		if err == nil {
+			rel()
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("slot never became available after cancel+release")
+	}
+}
+
+// TestAdmissionConcurrency hammers admit/release from many goroutines
+// under the race detector and checks the slot accounting ends at zero.
+func TestAdmissionConcurrency(t *testing.T) {
+	a := newAdmission(4, 64)
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			tenant := string(rune('a' + id%4))
+			for k := 0; k < 50; k++ {
+				release, err := a.admit(context.Background(), tenant)
+				if err != nil {
+					continue
+				}
+				release()
+			}
+		}(i)
+	}
+	wg.Wait()
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.inflight != 0 {
+		t.Errorf("inflight = %d after all releases, want 0", a.inflight)
+	}
+	if len(a.order) != 0 || len(a.tenants) != 0 {
+		t.Errorf("waiter books not empty: order=%v tenants=%d", a.order, len(a.tenants))
+	}
+}

@@ -1,0 +1,136 @@
+package gate
+
+import (
+	"bufio"
+	"net"
+	"sync"
+	"time"
+
+	"soifft/internal/serve"
+)
+
+// dialFunc opens a connection to a replica. The default is a plain TCP
+// dial; tests substitute one that injects faultnet faults on chosen
+// links.
+type dialFunc func(addr string) (net.Conn, error)
+
+// pconn is one pooled protocol connection: the raw conn plus its framed
+// reader/writer. A pconn carries at most one request at a time (the
+// protocol is strict request/response).
+type pconn struct {
+	conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+}
+
+// pool is the per-replica connection pool. Connections are created on
+// demand, reused LIFO (warm TCP windows first), and discarded on any
+// transport error — the framing on a failed connection is no longer
+// trustworthy, exactly the client package's broken-connection rule.
+type pool struct {
+	addr    string
+	dial    dialFunc
+	maxIdle int
+
+	mu     sync.Mutex
+	idle   []*pconn
+	closed bool
+}
+
+func newPool(addr string, dial dialFunc, maxIdle int) *pool {
+	if maxIdle <= 0 {
+		maxIdle = 8
+	}
+	return &pool{addr: addr, dial: dial, maxIdle: maxIdle}
+}
+
+// get pops an idle connection or dials a fresh one.
+func (p *pool) get() (*pconn, error) {
+	p.mu.Lock()
+	if n := len(p.idle); n > 0 {
+		pc := p.idle[n-1]
+		p.idle = p.idle[:n-1]
+		p.mu.Unlock()
+		return pc, nil
+	}
+	p.mu.Unlock()
+	conn, err := p.dial(p.addr)
+	if err != nil {
+		return nil, err
+	}
+	return &pconn{conn: conn, br: bufio.NewReader(conn), bw: bufio.NewWriter(conn)}, nil
+}
+
+// put returns a healthy connection to the idle list (or closes it when
+// the pool is full or closed).
+func (p *pool) put(pc *pconn) {
+	p.mu.Lock()
+	if !p.closed && len(p.idle) < p.maxIdle {
+		p.idle = append(p.idle, pc)
+		p.mu.Unlock()
+		return
+	}
+	p.mu.Unlock()
+	_ = pc.conn.Close()
+}
+
+// closeAll drops every idle connection and marks the pool closed.
+func (p *pool) closeAll() {
+	p.mu.Lock()
+	idle := p.idle
+	p.idle = nil
+	p.closed = true
+	p.mu.Unlock()
+	for _, pc := range idle {
+		_ = pc.conn.Close()
+	}
+}
+
+// do round-trips one request on a pooled connection under the given
+// deadline. A transport-level failure (dial, write, read, deadline)
+// closes the connection and returns a non-nil error with dialFailed
+// telling the caller whether the replica refused the connection
+// outright; a decoded response — whatever its status — returns err nil.
+func (p *pool) do(req *serve.Request, timeout time.Duration, maxN int) (resp *serve.Response, dialFailed bool, err error) {
+	pc, err := p.get()
+	if err != nil {
+		return nil, true, err
+	}
+	if timeout > 0 {
+		_ = pc.conn.SetDeadline(time.Now().Add(timeout))
+	}
+	if err := serve.WriteRequest(pc.bw, req); err != nil {
+		_ = pc.conn.Close()
+		return nil, false, err
+	}
+	if err := pc.bw.Flush(); err != nil {
+		_ = pc.conn.Close()
+		return nil, false, err
+	}
+	resp, err = serve.ReadResponse(pc.br, maxN)
+	if err != nil {
+		_ = pc.conn.Close()
+		return nil, false, err
+	}
+	if timeout > 0 {
+		_ = pc.conn.SetDeadline(time.Time{})
+	}
+	// A draining reply is the replica's last frame on this connection
+	// (the server closes after writing it), so don't pool it.
+	if resp.Status == serve.StatusDraining {
+		_ = pc.conn.Close()
+	} else {
+		p.put(pc)
+	}
+	return resp, false, nil
+}
+
+// ping round-trips an OpPing (the passive health probe for replicas
+// without a /healthz URL).
+func (p *pool) ping(timeout time.Duration) error {
+	resp, _, err := p.do(&serve.Request{Op: serve.OpPing, Accuracy: serve.AccuracyNone}, timeout, 1)
+	if err != nil {
+		return err
+	}
+	return resp.Err()
+}

@@ -1,0 +1,272 @@
+package gate
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"soifft/internal/serve"
+)
+
+// State is a replica's health disposition as the gateway sees it.
+type State int32
+
+// Replica health states.
+const (
+	// StateHealthy replicas receive traffic.
+	StateHealthy State = iota
+	// StateDraining replicas answered /healthz with 503 or a request
+	// with StatusDraining: in-flight work completes elsewhere and no new
+	// work is routed until a probe sees 200 again.
+	StateDraining
+	// StateDown replicas failed dials, probes or enough transport-level
+	// request errors; only a successful health probe restores them.
+	StateDown
+)
+
+func (s State) String() string {
+	switch s {
+	case StateHealthy:
+		return "healthy"
+	case StateDraining:
+		return "draining"
+	case StateDown:
+		return "down"
+	default:
+		return fmt.Sprintf("state(%d)", int32(s))
+	}
+}
+
+// ReplicaSpec names one replica: the transform TCP address and an
+// optional /healthz URL (empty = passive health only: transport errors
+// mark the replica down, a successful pooled Ping restores it).
+type ReplicaSpec struct {
+	Addr      string
+	HealthURL string
+}
+
+// downAfter is how many consecutive probe/transport failures demote a
+// replica to StateDown (one flaky pooled connection is not an outage).
+const downAfter = 2
+
+// replica is the registry's per-replica record: routing state, the
+// connection pool, health detail from the last probe, and counters.
+type replica struct {
+	addr      string
+	healthURL string
+	pool      *pool
+
+	inflight atomic.Int64 // requests currently proxied to this replica
+
+	mu         sync.Mutex
+	state      State
+	fails      int   // consecutive probe/transport failures
+	queueDepth int64 // from the last /healthz JSON body
+	warmPlans  int
+	lastErr    string
+	lastProbe  time.Time
+
+	routed atomic.Int64 // requests sent here (including retries)
+	failed atomic.Int64 // transport-level failures observed here
+	lat    latHist      // per-replica request round-trip latency
+}
+
+func (r *replica) getState() State {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.state
+}
+
+// noteFailure records one transport-level failure; the replica goes
+// down after downAfter consecutive ones. immediate forces StateDown
+// right away (a refused dial is unambiguous).
+func (r *replica) noteFailure(err error, immediate bool) {
+	r.failed.Add(1)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.fails++
+	r.lastErr = err.Error()
+	if immediate || r.fails >= downAfter {
+		r.state = StateDown
+	}
+}
+
+// noteDraining marks the replica draining (it answered a request with
+// StatusDraining); a later 200 probe restores it.
+func (r *replica) noteDraining() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.state = StateDraining
+}
+
+// noteHealthy records a successful probe with its health detail.
+func (r *replica) noteHealthy(h serve.Health) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.state = StateHealthy
+	r.fails = 0
+	r.lastErr = ""
+	r.queueDepth = h.QueueDepth
+	r.warmPlans = h.WarmPlans
+	r.lastProbe = time.Now()
+}
+
+// registry is the replica set plus the consistent-hash ring over its
+// members. Membership changes rebuild the ring; health changes do not
+// (unhealthy replicas stay on the ring and are skipped at routing time,
+// so a recovered replica gets its old keys back — affinity survives the
+// outage).
+type registry struct {
+	mu       sync.RWMutex
+	replicas map[string]*replica
+	ring     *ring
+	vnodes   int
+	dial     dialFunc
+	maxIdle  int
+}
+
+func newRegistry(vnodes, maxIdle int, dial dialFunc) *registry {
+	return &registry{
+		replicas: make(map[string]*replica),
+		ring:     newRing(nil, vnodes),
+		vnodes:   vnodes,
+		dial:     dial,
+		maxIdle:  maxIdle,
+	}
+}
+
+// update reconciles the replica set with specs: new replicas are added
+// healthy, vanished ones have their pools closed, and the ring is
+// rebuilt only when membership actually changed. It returns the number
+// of added and removed replicas.
+func (g *registry) update(specs []ReplicaSpec) (added, removed int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	want := make(map[string]ReplicaSpec, len(specs))
+	for _, sp := range specs {
+		if sp.Addr == "" {
+			continue
+		}
+		want[sp.Addr] = sp
+	}
+	for addr, sp := range want {
+		if r, ok := g.replicas[addr]; ok {
+			r.mu.Lock()
+			r.healthURL = sp.HealthURL
+			r.mu.Unlock()
+			continue
+		}
+		g.replicas[addr] = &replica{
+			addr:      addr,
+			healthURL: sp.HealthURL,
+			pool:      newPool(addr, g.dial, g.maxIdle),
+		}
+		added++
+	}
+	for addr, r := range g.replicas {
+		if _, ok := want[addr]; !ok {
+			r.pool.closeAll()
+			delete(g.replicas, addr)
+			removed++
+		}
+	}
+	if added > 0 || removed > 0 {
+		addrs := make([]string, 0, len(g.replicas))
+		for addr := range g.replicas {
+			addrs = append(addrs, addr)
+		}
+		sort.Strings(addrs)
+		g.ring = newRing(addrs, g.vnodes)
+	}
+	return added, removed
+}
+
+// get returns the record for addr (nil if it left the set).
+func (g *registry) get(addr string) *replica {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.replicas[addr]
+}
+
+// candidates returns the ring's preference order for key over current
+// membership (health is the router's concern, not the ring's).
+func (g *registry) candidates(key string) []string {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.ring.candidates(key, len(g.replicas))
+}
+
+// all returns every replica record, address-sorted (stable for /debug/ring).
+func (g *registry) all() []*replica {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	out := make([]*replica, 0, len(g.replicas))
+	for _, r := range g.replicas {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].addr < out[j].addr })
+	return out
+}
+
+// healthyCount returns how many replicas are currently routable and the
+// total in-flight across them (the inputs to the bounded-load rule).
+func (g *registry) healthyCount() (n int, inflight int64) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	for _, r := range g.replicas {
+		if r.getState() == StateHealthy {
+			n++
+			inflight += r.inflight.Load()
+		}
+	}
+	return n, inflight
+}
+
+// closeAll shuts every pool down (gateway shutdown).
+func (g *registry) closeAll() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for _, r := range g.replicas {
+		r.pool.closeAll()
+	}
+}
+
+// probe runs one health check against r. With a health URL it GETs
+// /healthz and parses the serve.Health JSON body (200 = healthy with
+// queue/warm detail, 503 = draining); without one it falls back to a
+// pooled protocol Ping. Probe failures demote to down after downAfter
+// consecutive misses.
+func (g *registry) probe(r *replica, hc *http.Client, pingTimeout time.Duration) {
+	r.mu.Lock()
+	url := r.healthURL
+	r.mu.Unlock()
+	if url == "" {
+		if err := r.pool.ping(pingTimeout); err != nil {
+			r.noteFailure(err, false)
+			return
+		}
+		r.noteHealthy(serve.Health{Status: "ok"})
+		return
+	}
+	resp, err := hc.Get(url)
+	if err != nil {
+		r.noteFailure(err, false)
+		return
+	}
+	defer resp.Body.Close()
+	var h serve.Health
+	_ = json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&h)
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		r.noteHealthy(h)
+	case resp.StatusCode == http.StatusServiceUnavailable || h.Draining:
+		r.noteDraining()
+	default:
+		r.noteFailure(fmt.Errorf("healthz: unexpected status %d", resp.StatusCode), false)
+	}
+}

@@ -1,0 +1,88 @@
+// Package gate is the soigate serving tier: a TCP gateway that speaks
+// the internal/serve protocol on both sides, routes each transform to a
+// replica by consistent-hashing its PlanKey (so identical plans land on
+// the replica whose cache is already warm and same-plan batching keeps
+// paying off), spills off overloaded replicas with a bounded-load rule,
+// fails over on transport errors and draining replicas, and applies
+// per-tenant admission control with fair queueing in front of the
+// replicas' typed backpressure.
+//
+// The gateway is a wire peer, not a new protocol: existing clients
+// point at it unchanged, and it forwards the v2 trace ID so a request's
+// spans still join one timeline across client, gateway and replica.
+package gate
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// ring is a consistent-hash ring over replica addresses. Each replica
+// owns vnodes points so removing one replica only remaps its own keys,
+// preserving every other replica's warm plan caches.
+type ring struct {
+	vnodes int
+	points []ringPoint // sorted by hash
+}
+
+type ringPoint struct {
+	hash    uint64
+	replica string
+}
+
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(s))
+	// splitmix64 finalizer: FNV alone leaves similar short strings
+	// (replica addresses differing in one digit) on clustered arcs;
+	// the extra avalanche evens the ring out.
+	x := h.Sum64()
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// newRing builds a ring over the given replicas. vnodes <= 0 selects the
+// default of 64 points per replica.
+func newRing(replicas []string, vnodes int) *ring {
+	if vnodes <= 0 {
+		vnodes = 64
+	}
+	r := &ring{vnodes: vnodes}
+	for _, rep := range replicas {
+		for i := 0; i < vnodes; i++ {
+			r.points = append(r.points, ringPoint{
+				hash:    hash64(fmt.Sprintf("%s#%d", rep, i)),
+				replica: rep,
+			})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].hash < r.points[j].hash })
+	return r
+}
+
+// candidates walks clockwise from the key's point and returns up to max
+// distinct replicas in preference order. Index 0 is the key's primary —
+// the replica whose plan cache stays warm for it; later entries are the
+// spill/failover order, stable for a fixed membership.
+func (r *ring) candidates(key string, max int) []string {
+	if len(r.points) == 0 || max <= 0 {
+		return nil
+	}
+	h := hash64(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	seen := make(map[string]bool, max)
+	out := make([]string, 0, max)
+	for i := 0; i < len(r.points) && len(out) < max; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.replica] {
+			seen[p.replica] = true
+			out = append(out, p.replica)
+		}
+	}
+	return out
+}

@@ -1,0 +1,384 @@
+// Package loadgen drives a soiserve or soigate endpoint with an
+// open-loop workload: Poisson arrivals at a configured rate, a weighted
+// mix of plan shapes, an in-flight cap that drops (never queues) excess
+// arrivals so the arrival process stays open-loop, and an SLO report
+// with latency percentiles, per-status counts and achieved throughput.
+//
+// Open-loop matters for capacity measurement: a closed-loop driver
+// slows down with the system under test and hides saturation, while an
+// open-loop one keeps offering load and exposes it as rejections,
+// drops and latency growth.
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"soifft"
+	"soifft/client"
+	"soifft/internal/serve"
+	"soifft/internal/signal"
+)
+
+// Spec names one plan shape in the workload mix.
+type Spec struct {
+	N        int     `json:"n"`
+	Segments int     `json:"segments,omitempty"` // 0 = server default
+	Mu       int     `json:"mu,omitempty"`       // 0,0 = server default
+	Nu       int     `json:"nu,omitempty"`
+	Taps     int     `json:"taps,omitempty"`     // 0 = server default
+	Accuracy int     `json:"accuracy,omitempty"` // <0 = off
+	Weight   float64 `json:"weight"`             // relative arrival share (default 1)
+}
+
+func (s Spec) String() string {
+	return fmt.Sprintf("n=%d p=%d b=%d acc=%d", s.N, s.Segments, s.Taps, s.Accuracy)
+}
+
+func (s Spec) options() *client.Options {
+	o := &client.Options{Segments: s.Segments, Mu: s.Mu, Nu: s.Nu, Taps: s.Taps}
+	if s.Accuracy >= 0 {
+		o.Accuracy = soifft.Accuracy(s.Accuracy)
+		o.UseAccuracy = true
+	}
+	return o
+}
+
+// Config tunes one load-generation run.
+type Config struct {
+	// Addr is the endpoint under test (a soiserve replica or a soigate
+	// front end — same protocol either way).
+	Addr string
+	// Rate is the Poisson arrival rate in requests/second.
+	Rate float64
+	// Duration bounds arrival generation; in-flight requests then drain.
+	Duration time.Duration
+	// MaxInflight caps concurrent outstanding requests; arrivals beyond
+	// it are counted as dropped, preserving the open loop (default 64).
+	MaxInflight int
+	// Mix is the weighted plan mix (empty = one default-plan spec of
+	// n=4096).
+	Mix []Spec
+	// Seed makes the arrival process and mix draws reproducible.
+	Seed int64
+	// RequestTimeout bounds each request round trip (default 30s).
+	RequestTimeout time.Duration
+	// BitCheck verifies every response bit-for-bit against a locally
+	// computed reference spectrum for its spec (each spec sends one
+	// fixed seeded input, so the reference is computed once).
+	BitCheck bool
+	// Warmup, when positive, sends one request per spec sequentially
+	// before the clock starts, so plan construction on cold replicas is
+	// excluded from the measured window.
+	Warmup bool
+}
+
+// Percentiles summarizes a latency population.
+type Percentiles struct {
+	P50  time.Duration `json:"p50_ns"`
+	P90  time.Duration `json:"p90_ns"`
+	P99  time.Duration `json:"p99_ns"`
+	Max  time.Duration `json:"max_ns"`
+	Mean time.Duration `json:"mean_ns"`
+}
+
+// Result is one run's SLO report.
+type Result struct {
+	Addr         string        `json:"addr"`
+	Rate         float64       `json:"offered_rate"`
+	Elapsed      time.Duration `json:"elapsed_ns"`
+	Offered      int           `json:"offered"`   // arrivals generated
+	Sent         int           `json:"sent"`      // requests actually issued
+	Dropped      int           `json:"dropped"`   // arrivals over the in-flight cap
+	OK           int           `json:"ok"`        // StatusOK responses
+	Rejected     int           `json:"rejected"`  // typed backpressure (overloaded/draining)
+	Failed       int           `json:"failed"`    // transport or non-backpressure errors
+	Corrupted    int           `json:"corrupted"` // BitCheck mismatches
+	ThroughputOK float64       `json:"throughput_ok_rps"`
+	Latency      Percentiles   `json:"latency"`
+	Mix          []Spec        `json:"mix"`
+}
+
+// String renders the report as a compact human-readable block.
+func (r *Result) String() string {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "loadgen: %s  offered %.0f rps for %v\n", r.Addr, r.Rate, r.Elapsed.Round(time.Millisecond))
+	fmt.Fprintf(&b, "  offered %d  sent %d  dropped %d\n", r.Offered, r.Sent, r.Dropped)
+	fmt.Fprintf(&b, "  ok %d  rejected %d  failed %d  corrupted %d\n", r.OK, r.Rejected, r.Failed, r.Corrupted)
+	fmt.Fprintf(&b, "  throughput %.1f ok/s\n", r.ThroughputOK)
+	fmt.Fprintf(&b, "  latency p50 %v  p90 %v  p99 %v  max %v  mean %v\n",
+		r.Latency.P50.Round(time.Microsecond), r.Latency.P90.Round(time.Microsecond),
+		r.Latency.P99.Round(time.Microsecond), r.Latency.Max.Round(time.Microsecond),
+		r.Latency.Mean.Round(time.Microsecond))
+	return b.String()
+}
+
+// WriteJSON emits the report as indented JSON (the CI artifact format).
+func (r *Result) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// runner carries one run's shared state.
+type runner struct {
+	cfg  Config
+	refs map[int][]complex128 // spec index -> reference spectrum (BitCheck)
+	ins  map[int][]complex128 // spec index -> fixed input signal
+
+	mu        sync.Mutex
+	free      []*client.Client // idle connections, reused LIFO
+	latencies []time.Duration
+	ok        int
+	rejected  int
+	failed    int
+	corrupted int
+	sent      int
+}
+
+// Run executes one load-generation run. Context cancellation stops
+// arrival generation early; in-flight requests still drain into the
+// report.
+func Run(ctx context.Context, cfg Config) (*Result, error) {
+	if cfg.Rate <= 0 {
+		return nil, fmt.Errorf("loadgen: rate must be positive, got %g", cfg.Rate)
+	}
+	if cfg.Duration <= 0 {
+		return nil, fmt.Errorf("loadgen: duration must be positive, got %v", cfg.Duration)
+	}
+	if cfg.MaxInflight <= 0 {
+		cfg.MaxInflight = 64
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = 30 * time.Second
+	}
+	if len(cfg.Mix) == 0 {
+		cfg.Mix = []Spec{{N: 4096, Accuracy: -1, Weight: 1}}
+	}
+	for i := range cfg.Mix {
+		if cfg.Mix[i].Weight <= 0 {
+			cfg.Mix[i].Weight = 1
+		}
+	}
+
+	r := &runner{cfg: cfg, refs: map[int][]complex128{}, ins: map[int][]complex128{}}
+	for i, sp := range cfg.Mix {
+		r.ins[i] = signal.Random(sp.N, cfg.Seed+int64(i))
+		if cfg.BitCheck {
+			ref, err := localReference(sp, r.ins[i])
+			if err != nil {
+				return nil, fmt.Errorf("loadgen: reference for %s: %w", sp, err)
+			}
+			r.refs[i] = ref
+		}
+	}
+	if cfg.Warmup {
+		for i := range cfg.Mix {
+			if err := r.fire(i); err != nil {
+				return nil, fmt.Errorf("loadgen: warmup %s: %w", cfg.Mix[i], err)
+			}
+		}
+		// Warmup flows through the same counters; reset for the window.
+		r.mu.Lock()
+		r.latencies, r.ok, r.rejected, r.failed, r.corrupted, r.sent = nil, 0, 0, 0, 0, 0
+		r.mu.Unlock()
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var wg sync.WaitGroup
+	inflight := make(chan struct{}, cfg.MaxInflight)
+	offered, dropped := 0, 0
+	start := time.Now()
+	deadline := start.Add(cfg.Duration)
+	next := start
+	for next.Before(deadline) && ctx.Err() == nil {
+		// Exponential inter-arrival: the Poisson process.
+		next = next.Add(time.Duration(rng.ExpFloat64() / cfg.Rate * float64(time.Second)))
+		if d := time.Until(next); d > 0 {
+			select {
+			case <-ctx.Done():
+			case <-time.After(d):
+			}
+		}
+		if !next.Before(deadline) || ctx.Err() != nil {
+			break
+		}
+		offered++
+		spec := pickWeighted(rng, cfg.Mix)
+		select {
+		case inflight <- struct{}{}:
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				defer func() { <-inflight }()
+				_ = r.fire(i)
+			}(spec)
+		default:
+			dropped++
+		}
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, c := range r.free {
+		_ = c.Close()
+	}
+	res := &Result{
+		Addr: cfg.Addr, Rate: cfg.Rate, Elapsed: elapsed,
+		Offered: offered, Sent: r.sent, Dropped: dropped,
+		OK: r.ok, Rejected: r.rejected, Failed: r.failed, Corrupted: r.corrupted,
+		ThroughputOK: float64(r.ok) / elapsed.Seconds(),
+		Latency:      percentiles(r.latencies),
+		Mix:          cfg.Mix,
+	}
+	return res, nil
+}
+
+// fire issues one request for mix spec i on a pooled connection.
+func (r *runner) fire(i int) error {
+	c, err := r.takeClient()
+	if err != nil {
+		r.mu.Lock()
+		r.sent++
+		r.failed++
+		r.mu.Unlock()
+		return err
+	}
+	spec := r.cfg.Mix[i]
+	ctx, cancel := context.WithTimeout(context.Background(), r.cfg.RequestTimeout)
+	start := time.Now()
+	got, err := c.TransformContext(ctx, r.ins[i], spec.options())
+	lat := time.Since(start)
+	cancel()
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.sent++
+	if err != nil {
+		var se *serve.ServerError
+		if errors.As(err, &se) && se.Temporary() {
+			r.rejected++
+			r.free = append(r.free, c) // typed rejection: the connection is fine
+		} else {
+			r.failed++
+			_ = c.Close() // transport-level: the connection is latched broken
+		}
+		return err
+	}
+	r.ok++
+	r.latencies = append(r.latencies, lat)
+	if ref := r.refs[i]; ref != nil && !bitEqual(got, ref) {
+		r.corrupted++
+	}
+	r.free = append(r.free, c)
+	return nil
+}
+
+func (r *runner) takeClient() (*client.Client, error) {
+	r.mu.Lock()
+	if n := len(r.free); n > 0 {
+		c := r.free[n-1]
+		r.free = r.free[:n-1]
+		r.mu.Unlock()
+		return c, nil
+	}
+	r.mu.Unlock()
+	return client.DialTimeout(r.cfg.Addr, 5*time.Second)
+}
+
+// localReference computes the spec's expected spectrum with the same
+// plan parameters the server resolves, so a correct replica's answer is
+// bit-identical (the pipeline is deterministic).
+func localReference(sp Spec, in []complex128) ([]complex128, error) {
+	var opts []soifft.Option
+	if sp.Segments > 0 {
+		opts = append(opts, soifft.WithSegments(sp.Segments))
+	}
+	if sp.Mu > 0 && sp.Nu > 0 {
+		opts = append(opts, soifft.WithOversampling(sp.Mu, sp.Nu))
+	}
+	if sp.Accuracy >= 0 {
+		opts = append(opts, soifft.WithAccuracy(soifft.Accuracy(sp.Accuracy)))
+	} else if sp.Taps > 0 {
+		opts = append(opts, soifft.WithTaps(sp.Taps))
+	}
+	plan, err := soifft.NewPlan(sp.N, opts...)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]complex128, sp.N)
+	if err := plan.Transform(out, in); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func bitEqual(a, b []complex128) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(real(a[i])) != math.Float64bits(real(b[i])) ||
+			math.Float64bits(imag(a[i])) != math.Float64bits(imag(b[i])) {
+			return false
+		}
+	}
+	return true
+}
+
+func pickWeighted(rng *rand.Rand, mix []Spec) int {
+	total := 0.0
+	for _, sp := range mix {
+		total += sp.Weight
+	}
+	x := rng.Float64() * total
+	for i, sp := range mix {
+		x -= sp.Weight
+		if x < 0 {
+			return i
+		}
+	}
+	return len(mix) - 1
+}
+
+// percentiles computes the report quantiles (nearest-rank).
+func percentiles(lats []time.Duration) Percentiles {
+	if len(lats) == 0 {
+		return Percentiles{}
+	}
+	s := make([]time.Duration, len(lats))
+	copy(s, lats)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	at := func(q float64) time.Duration {
+		i := int(math.Ceil(q*float64(len(s)))) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(s) {
+			i = len(s) - 1
+		}
+		return s[i]
+	}
+	var sum time.Duration
+	for _, d := range s {
+		sum += d
+	}
+	return Percentiles{
+		P50:  at(0.50),
+		P90:  at(0.90),
+		P99:  at(0.99),
+		Max:  s[len(s)-1],
+		Mean: sum / time.Duration(len(s)),
+	}
+}

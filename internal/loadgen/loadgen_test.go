@@ -1,0 +1,110 @@
+package loadgen
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestPercentilesNearestRank pins the quantile convention on a known
+// population: 1..100ms, where nearest-rank pN is exactly N ms.
+func TestPercentilesNearestRank(t *testing.T) {
+	var lats []time.Duration
+	for i := 100; i >= 1; i-- { // unsorted on purpose
+		lats = append(lats, time.Duration(i)*time.Millisecond)
+	}
+	p := percentiles(lats)
+	want := Percentiles{
+		P50:  50 * time.Millisecond,
+		P90:  90 * time.Millisecond,
+		P99:  99 * time.Millisecond,
+		Max:  100 * time.Millisecond,
+		Mean: 50*time.Millisecond + 500*time.Microsecond,
+	}
+	if p != want {
+		t.Errorf("percentiles = %+v, want %+v", p, want)
+	}
+	if z := percentiles(nil); z != (Percentiles{}) {
+		t.Errorf("empty population gave %+v, want zero", z)
+	}
+	one := percentiles([]time.Duration{7 * time.Millisecond})
+	if one.P50 != 7*time.Millisecond || one.P99 != 7*time.Millisecond || one.Max != 7*time.Millisecond {
+		t.Errorf("single-sample percentiles = %+v", one)
+	}
+}
+
+// TestPickWeightedProportions draws many specs and checks the empirical
+// shares track the configured weights.
+func TestPickWeightedProportions(t *testing.T) {
+	mix := []Spec{
+		{N: 1024, Weight: 1},
+		{N: 2048, Weight: 3},
+		{N: 4096, Weight: 6},
+	}
+	rng := rand.New(rand.NewSource(1))
+	const draws = 30000
+	counts := make([]int, len(mix))
+	for i := 0; i < draws; i++ {
+		counts[pickWeighted(rng, mix)]++
+	}
+	for i, want := range []float64{0.1, 0.3, 0.6} {
+		got := float64(counts[i]) / draws
+		if math.Abs(got-want) > 0.02 {
+			t.Errorf("spec %d drawn with share %.3f, want %.3f±0.02", i, got, want)
+		}
+	}
+}
+
+// TestBitEqual checks the corruption detector is exact: equal bits
+// pass, a one-ulp perturbation or length mismatch fails.
+func TestBitEqual(t *testing.T) {
+	a := []complex128{complex(1.5, -2.25), complex(0, 3)}
+	b := append([]complex128(nil), a...)
+	if !bitEqual(a, b) {
+		t.Error("identical slices reported unequal")
+	}
+	b[1] = complex(real(b[1]), math.Nextafter(imag(b[1]), 4))
+	if bitEqual(a, b) {
+		t.Error("one-ulp perturbation went undetected")
+	}
+	if bitEqual(a, a[:1]) {
+		t.Error("length mismatch went undetected")
+	}
+}
+
+// TestLocalReferenceMatchesSpecOptions checks the reference path and a
+// direct plan agree for a non-default spec (same option resolution).
+func TestLocalReferenceMatchesSpecOptions(t *testing.T) {
+	sp := Spec{N: 256, Segments: 8, Taps: 24, Accuracy: -1}
+	in := make([]complex128, sp.N)
+	for i := range in {
+		in[i] = complex(math.Sin(float64(i)), math.Cos(float64(2*i)))
+	}
+	ref, err := localReference(sp, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := localReference(sp, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bitEqual(ref, again) {
+		t.Error("reference spectrum is not deterministic")
+	}
+	if len(ref) != sp.N {
+		t.Errorf("reference has %d points, want %d", len(ref), sp.N)
+	}
+}
+
+// TestRunRejectsBadConfig checks the config validation errors.
+func TestRunRejectsBadConfig(t *testing.T) {
+	ctx := context.Background()
+	if _, err := Run(ctx, Config{Rate: 0, Duration: time.Second}); err == nil {
+		t.Error("zero rate accepted")
+	}
+	if _, err := Run(ctx, Config{Rate: 10, Duration: 0}); err == nil {
+		t.Error("zero duration accepted")
+	}
+}

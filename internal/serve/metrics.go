@@ -223,9 +223,37 @@ func (m *Metrics) Snapshot() map[string]any {
 	return snap
 }
 
+// Health is the JSON body /healthz serves alongside its status code:
+// enough detail for a gateway to weight replicas (queue depth, warm
+// plan count) and to distinguish draining from dead. The status-code
+// contract is unchanged — 200 while serving, 503 once draining — so
+// existing bare probes keep working.
+type Health struct {
+	Status     string `json:"status"` // "ok" or "draining"
+	Draining   bool   `json:"draining"`
+	QueueDepth int64  `json:"queue_depth"`
+	WarmPlans  int    `json:"warm_plans"` // resident plans in the cache
+}
+
+// Health assembles the current /healthz body.
+func (m *Metrics) Health() Health {
+	h := Health{Status: "ok"}
+	if m.healthy != nil && !m.healthy() {
+		h.Status, h.Draining = "draining", true
+	}
+	if m.queueDepth != nil {
+		h.QueueDepth = m.queueDepth()
+	}
+	if m.plans != nil {
+		h.WarmPlans = len(m.plans())
+	}
+	return h
+}
+
 // Handler returns the metrics HTTP mux: /debug/vars in expvar format
 // (process-wide expvar variables plus this server's "soiserve" tree)
-// and /healthz reporting 200 while serving, 503 once draining.
+// and /healthz reporting 200 while serving, 503 once draining, with a
+// JSON Health body either way.
 func (m *Metrics) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, r *http.Request) {
@@ -250,11 +278,12 @@ func (m *Metrics) Handler() http.Handler {
 		fmt.Fprintf(w, "\n}\n")
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		if m.healthy != nil && !m.healthy() {
-			http.Error(w, "draining", http.StatusServiceUnavailable)
-			return
+		h := m.Health()
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		if h.Draining {
+			w.WriteHeader(http.StatusServiceUnavailable)
 		}
-		fmt.Fprintln(w, "ok")
+		_ = json.NewEncoder(w).Encode(h)
 	})
 	mux.HandleFunc("/metrics", m.writePrometheus)
 	mux.HandleFunc("/debug/flight", func(w http.ResponseWriter, r *http.Request) {

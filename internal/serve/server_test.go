@@ -376,7 +376,19 @@ func TestMetricsEndpoints(t *testing.T) {
 	if res.StatusCode != 200 {
 		t.Errorf("healthz status %d", res.StatusCode)
 	}
+	// The body carries the health detail the gateway's prober reads:
+	// status, draining flag, queue depth and warm-plan count.
+	var h serve.Health
+	if err := json.NewDecoder(res.Body).Decode(&h); err != nil {
+		t.Fatalf("healthz body is not JSON: %v", err)
+	}
 	res.Body.Close()
+	if h.Status != "ok" || h.Draining {
+		t.Errorf("healthz body = %+v, want status ok and not draining", h)
+	}
+	if h.WarmPlans != 1 {
+		t.Errorf("healthz warm_plans = %d, want 1 (one plan resolved)", h.WarmPlans)
+	}
 
 	res, err = ts.Client().Get(ts.URL + "/debug/vars")
 	if err != nil {
