@@ -18,6 +18,13 @@
 //
 //	soinode ... -io-timeout 5s -fault-plan seed=42,corrupt=0.001,latency=1ms
 //
+// -coded m arms the erasure-protected exchange: each rank encodes its
+// all-to-all chunks into m parity shares, so the transform survives a
+// rank that dies mid-exchange (after its frames flushed) — the run
+// completes with the bit-exact spectrum, logs a degraded-mode warning
+// naming the reconstructed rank, and exits 0. Losses beyond the parity
+// budget exit non-zero with a typed error naming every dead peer.
+//
 // With -trace-out each rank records an event timeline of its pipeline
 // stages (rank 0 mints the trace ID and broadcasts it over the wire, so
 // every rank's spans share it) and writes a Perfetto JSON file on exit;
@@ -62,6 +69,8 @@ func main() {
 		"how long to wait for all peers before giving up")
 	ioTimeout := flag.Duration("io-timeout", 30*time.Second,
 		"per-operation I/O deadline on peer links; a peer that stalls longer is declared dead with a typed error (0 = wait forever)")
+	coded := flag.Int("coded", -1,
+		"erasure parity shares m for the coded exchange: survive ranks dying mid-transform at a wire cost of (R-1+m)/(R-1) (0 = detection only, -1 = plain exchange)")
 	faultPlan := flag.String("fault-plan", "",
 		"faultnet chaos plan injected into this rank's links, e.g. seed=42,corrupt=0.001,latency=1ms (see internal/faultnet)")
 	report := flag.Bool("report", false,
@@ -119,6 +128,11 @@ func main() {
 	if err := plan.ValidateDistributed(*size); err != nil {
 		fail(log, err)
 	}
+	if *coded >= 0 {
+		if err := core.ValidateCoded(*size, *coded); err != nil {
+			fail(log, err)
+		}
+	}
 	if *report {
 		plan.SetRecorder(instrument.New(instrument.LevelTimers))
 		proc.SetRecorder(plan.Recorder())
@@ -158,7 +172,23 @@ func main() {
 	// the per-rank files on it.
 	tracer.Sync(tid, *rank)
 	t0 := time.Now()
-	dt, err := plan.RunDistributedContext(ctx, proc, out, src[*rank*nLocal:(*rank+1)*nLocal])
+	var dt core.DistributedTimes
+	var deg *core.DegradedError
+	localIn := src[*rank*nLocal : (*rank+1)*nLocal]
+	if *coded >= 0 {
+		dt, err = plan.RunDistributedCodedContext(ctx, proc, *coded, out, localIn)
+		if errors.As(err, &deg) {
+			// The spectrum is complete and bit-exact; the error is
+			// informational. Degraded completion is a success exit.
+			log.Warn("transform completed degraded: dead rank(s) reconstructed from parity",
+				"reconstructed", fmt.Sprint(deg.ReconstructedRanks),
+				"coordinator", deg.Coordinator,
+				"parity_bytes", deg.ParityBytes, "recovery_bytes", deg.RecoveryBytes)
+			err = nil
+		}
+	} else {
+		dt, err = plan.RunDistributedContext(ctx, proc, out, localIn)
+	}
 	if err != nil {
 		fail(log, err)
 	}
@@ -167,10 +197,21 @@ func main() {
 		"exchange", dt.Exchange.String(), "segment_fft", dt.SegmentFT.String())
 
 	var full []complex128
-	if err := core.GuardComm(func() { full = proc.Gather(0, out) }); err != nil {
+	reportRank := 0
+	if *coded >= 0 {
+		var at int
+		full, at, err = core.GatherDegraded(proc, 0, out, deg)
+		if err != nil {
+			fail(log, err)
+		}
+		if at != 0 {
+			log.Warn("gather rerouted around dead root", "landed_at", at)
+		}
+		reportRank = at
+	} else if err := core.GuardComm(func() { full = proc.Gather(0, out) }); err != nil {
 		fail(log, err)
 	}
-	if *rank == 0 {
+	if *rank == reportRank {
 		ref, err := fft.Forward(src)
 		if err != nil {
 			fail(log, err)
@@ -179,8 +220,12 @@ func main() {
 			"rel_err", fmt.Sprintf("%.3e", signal.RelErrL2(full, ref)),
 			"snr_db", fmt.Sprintf("%.0f", signal.SNRdB(full, ref)))
 	}
-	if err := core.GuardComm(proc.Barrier); err != nil {
-		fail(log, err)
+	if deg == nil {
+		// The closing barrier needs every rank; after a degraded run the
+		// dead rank can never join it.
+		if err := core.GuardComm(proc.Barrier); err != nil {
+			fail(log, err)
+		}
 	}
 
 	if *traceOut != "" {
@@ -211,6 +256,11 @@ func main() {
 		}
 		fmt.Printf("rank %d: exchange volume %d B (analytic per-rank %d B); vs triple-all-to-all %d B: ratio %.3f, paper predicts 3/(1+beta) = %.3f\n",
 			*rank, snap.Comm.AlltoallBytes, perRank, baseline, ratio, model.AsymptoticSpeedup())
+		if *coded >= 0 {
+			fmt.Printf("rank %d: coded: parity %d B, recovery %d B, %d reconstructions, %d degraded transforms\n",
+				*rank, snap.Comm.ParityBytes, snap.Comm.RecoveryBytes,
+				snap.Comm.Reconstructions, snap.Comm.DegradedTransforms)
+		}
 		ns := proc.Stats()
 		fmt.Printf("rank %d: wire: %d frames out (%d B), %d frames in (%d B), %d heartbeats, %d dial retries, %d deadline, %d checksum, %d link failures\n",
 			*rank, ns.FramesSent, ns.BytesSent, ns.FramesReceived, ns.BytesReceived,
@@ -222,6 +272,12 @@ func main() {
 // operation in its own structured record so operators can see at a
 // glance which rank to investigate.
 func fail(log *slog.Logger, err error) {
+	var loss *core.UnrecoverableLossError
+	if errors.As(err, &loss) {
+		log.Error("unrecoverable loss: more ranks died than the parity budget covers",
+			"dead_ranks", fmt.Sprint(loss.DeadRanks), "parity", loss.Parity, "err", err.Error())
+		os.Exit(1)
+	}
 	var te *mpinet.TransportError
 	if errors.As(err, &te) {
 		log.Error("transport failure", "peer", te.Rank, "op", te.Op, "err", te.Err.Error())

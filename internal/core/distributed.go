@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"soifft/internal/instrument"
+	"soifft/internal/trace"
 )
 
 // Tags used by the distributed driver.
@@ -187,12 +188,75 @@ func (pl *Plan) RunDistributed(c Comm, localOut, localIn []complex128) (Distribu
 // leave peers to fail with their own deadline faults.
 func (pl *Plan) RunDistributedContext(ctx context.Context, c Comm, localOut, localIn []complex128) (dt DistributedTimes, err error) {
 	defer RecoverFault(&err)
-	r := c.Size()
-	if err := pl.ValidateDistributed(r); err != nil {
+	e, err := pl.newDistExec(ctx, instrumentComm(c, pl.rec), localOut, localIn)
+	if err != nil {
 		return dt, err
 	}
-	rec := pl.rec
-	c = instrumentComm(c, rec)
+	send, err := e.phase12(ctx, localIn)
+	if err != nil {
+		return e.dt, err
+	}
+
+	// Phase 3: the single all-to-all (stride-P permutation P_perm^{P,N'}).
+	t0 := time.Now()
+	e.tr.Begin(e.tid, e.rank, instrument.StageExchange.String())
+	var recv []complex128
+	if pl.prm.Exchange == ExchangePairwise {
+		counts := make([]int, e.r)
+		for i := range counts {
+			counts[i] = e.chunk
+		}
+		recv = e.c.PairwiseAlltoallv(send, counts, counts)
+	} else {
+		recv = e.c.Alltoall(send, e.chunk)
+	}
+	e.dt.Exchange = time.Since(t0)
+	e.tr.End(e.tid, e.rank, instrument.StageExchange.String())
+	if err := ctx.Err(); err != nil {
+		return e.dt, err
+	}
+
+	// Phase 4: assemble each owned segment's oversampled sequence, run
+	// F_M', project and demodulate.
+	t0 = time.Now()
+	e.tr.Begin(e.tid, e.rank, instrument.StageSegmentFFT.String())
+	e.phase4(func(src int) []complex128 {
+		return recv[src*e.chunk : (src+1)*e.chunk]
+	}, localOut)
+	e.dt.SegmentFT = time.Since(t0)
+	e.tr.End(e.tid, e.rank, instrument.StageSegmentFFT.String())
+
+	e.report()
+	return e.dt, nil
+}
+
+// distExec is the per-rank execution state one distributed transform
+// shares between its phases; the plain and coded drivers both build one
+// and differ only in how chunks cross the wire between phase12 and
+// phase4.
+type distExec struct {
+	pl                *Plan
+	c                 Comm // collective/halo surface (instrument-wrapped when observing)
+	rank, r           int
+	workers           int
+	nLocal            int
+	bpr               int // convolution blocks per rank
+	spr               int // segments per rank
+	chunk             int // elements per destination in the exchange (bpr·spr)
+	tr                *trace.Tracer
+	tid               trace.ID
+	timed             bool
+	convBusy, segBusy atomic.Int64
+	dt                DistributedTimes
+}
+
+// newDistExec validates plan/world/buffer shapes and assembles the
+// execution state.
+func (pl *Plan) newDistExec(ctx context.Context, c Comm, localOut, localIn []complex128) (*distExec, error) {
+	r := c.Size()
+	if err := pl.ValidateDistributed(r); err != nil {
+		return nil, err
+	}
 	p := pl.prm
 	workers := p.Workers
 	if workers <= 0 {
@@ -200,17 +264,26 @@ func (pl *Plan) RunDistributedContext(ctx context.Context, c Comm, localOut, loc
 	}
 	nLocal := p.N / r
 	if len(localIn) != nLocal || len(localOut) != nLocal {
-		return dt, fmt.Errorf("core: rank %d: need local length %d, got in %d out %d: %w",
+		return nil, fmt.Errorf("core: rank %d: need local length %d, got in %d out %d: %w",
 			c.Rank(), nLocal, len(localIn), len(localOut), ErrLength)
 	}
 	if err := ctx.Err(); err != nil {
-		return dt, err
+		return nil, err
 	}
-	rank := c.Rank()
-	tr, tid := pl.tracerFor(ctx)
-	halo := pl.HaloLen()
-	bpr := pl.mp / r // convolution blocks per rank
-	spr := p.P / r   // segments per rank
+	e := &distExec{
+		pl: pl, c: c, rank: c.Rank(), r: r, workers: workers, nLocal: nLocal,
+		bpr: pl.mp / r, spr: p.P / r, chunk: (pl.mp / r) * (p.P / r),
+		timed: pl.rec.Timing(),
+	}
+	e.tr, e.tid = pl.tracerFor(ctx)
+	return e, nil
+}
+
+// phase12 runs the halo exchange and the convolution/block-FFT phase and
+// returns the packed exchange buffer: destination t's chunk occupies
+// [t·chunk, (t+1)·chunk).
+func (e *distExec) phase12(ctx context.Context, localIn []complex128) ([]complex128, error) {
+	pl, p, rank, r := e.pl, e.pl.prm, e.rank, e.r
 
 	// Phase 1: halo exchange, overlapped with interior convolution. The
 	// convolution of the last local rows reads up to (B−1)·P elements
@@ -221,145 +294,134 @@ func (pl *Plan) RunDistributedContext(ctx context.Context, c Comm, localOut, loc
 	// production shapes the halo is a single short neighbour message
 	// (paper: "typically less than 0.01% of M"); tiny test shapes may
 	// span several neighbours.
+	halo := pl.HaloLen()
 	t0 := time.Now()
-	tr.Begin(tid, rank, instrument.StageHalo.String())
-	ext := make([]complex128, nLocal+halo)
+	e.tr.Begin(e.tid, rank, instrument.StageHalo.String())
+	ext := make([]complex128, e.nLocal+halo)
 	copy(ext, localIn)
 	depth := 0 // neighbour distance the halo spans
 	if r > 1 {
-		for d := 1; (d-1)*nLocal < halo; d++ {
-			need := halo - (d-1)*nLocal
-			if need > nLocal {
-				need = nLocal
+		for d := 1; (d-1)*e.nLocal < halo; d++ {
+			need := halo - (d-1)*e.nLocal
+			if need > e.nLocal {
+				need = e.nLocal
 			}
-			c.Send((rank-d+r*d)%r, tagHalo+d, localIn[:need])
+			e.c.Send((rank-d+r*d)%r, tagHalo+d, localIn[:need])
 			depth = d
 		}
 	}
-	dt.Halo = time.Since(t0)
-	tr.End(tid, rank, instrument.StageHalo.String())
+	e.dt.Halo = time.Since(t0)
+	e.tr.End(e.tid, rank, instrument.StageHalo.String())
 
 	// Phase 2: convolution rows and their P-point FFTs. Interior rows
 	// (taps within the owned block) run while the halo is in flight.
 	t0 = time.Now()
-	tr.Begin(tid, rank, instrument.StageConvolve.String())
-	jLo := rank * bpr
+	e.tr.Begin(e.tid, rank, instrument.StageConvolve.String())
+	jLo := rank * e.bpr
 	jMid := jLo
-	for jMid < jLo+bpr && pl.rowEndCol(jMid) <= (rank+1)*nLocal {
+	for jMid < jLo+e.bpr && pl.rowEndCol(jMid) <= (rank+1)*e.nLocal {
 		jMid++
 	}
-	timed := rec.Timing()
-	var convBusy, segBusy atomic.Int64
-	v := make([]complex128, bpr*p.P)
-	conv := make([]complex128, bpr*p.P)
-	parfor(workers, jMid-jLo, func(lo, hi int) {
+	v := make([]complex128, e.bpr*p.P)
+	conv := make([]complex128, e.bpr*p.P)
+	parfor(e.workers, jMid-jLo, func(lo, hi int) {
 		w0 := time.Now()
-		pl.ConvolveRange(conv[lo*p.P:hi*p.P], ext, jLo+lo, jLo+hi, rank*nLocal)
-		if timed {
-			convBusy.Add(int64(time.Since(w0)))
+		pl.ConvolveRange(conv[lo*p.P:hi*p.P], ext, jLo+lo, jLo+hi, rank*e.nLocal)
+		if e.timed {
+			e.convBusy.Add(int64(time.Since(w0)))
 		}
 	})
-	dt.Convolve = time.Since(t0)
+	e.dt.Convolve = time.Since(t0)
 
 	t0 = time.Now()
-	tr.Begin(tid, rank, instrument.StageHalo.String())
+	e.tr.Begin(e.tid, rank, instrument.StageHalo.String())
 	if r == 1 {
-		copy(ext[nLocal:], localIn[:halo])
+		copy(ext[e.nLocal:], localIn[:halo])
 	} else {
 		for d := 1; d <= depth; d++ {
-			data := c.RecvC((rank+d)%r, tagHalo+d)
-			copy(ext[nLocal+(d-1)*nLocal:], data)
+			data := e.c.RecvC((rank+d)%r, tagHalo+d)
+			copy(ext[e.nLocal+(d-1)*e.nLocal:], data)
 		}
 	}
-	dt.Halo += time.Since(t0)
-	tr.End(tid, rank, instrument.StageHalo.String())
+	e.dt.Halo += time.Since(t0)
+	e.tr.End(e.tid, rank, instrument.StageHalo.String())
 
 	t0 = time.Now()
-	pl.ConvolveRange(conv[(jMid-jLo)*p.P:], ext, jMid, jLo+bpr, rank*nLocal)
-	if timed {
-		convBusy.Add(int64(time.Since(t0)))
+	pl.ConvolveRange(conv[(jMid-jLo)*p.P:], ext, jMid, jLo+e.bpr, rank*e.nLocal)
+	if e.timed {
+		e.convBusy.Add(int64(time.Since(t0)))
 	}
-	parfor(workers, bpr, func(lo, hi int) {
+	parfor(e.workers, e.bpr, func(lo, hi int) {
 		w0 := time.Now()
 		pl.BlockFFTBatch(v[lo*p.P:hi*p.P], conv[lo*p.P:hi*p.P], hi-lo)
-		if timed {
-			convBusy.Add(int64(time.Since(w0)))
+		if e.timed {
+			e.convBusy.Add(int64(time.Since(w0)))
 		}
 	})
 
 	// Pack for the exchange: destination t gets lanes [t·spr, (t+1)·spr)
 	// of every local block (the node-local permutation of paper Fig 3).
-	send := make([]complex128, bpr*p.P)
-	chunk := bpr * spr
+	send := make([]complex128, e.bpr*p.P)
 	for t := 0; t < r; t++ {
-		base := t * chunk
-		for j := 0; j < bpr; j++ {
-			copy(send[base+j*spr:base+(j+1)*spr], v[j*p.P+t*spr:j*p.P+(t+1)*spr])
+		base := t * e.chunk
+		for j := 0; j < e.bpr; j++ {
+			copy(send[base+j*e.spr:base+(j+1)*e.spr], v[j*p.P+t*e.spr:j*p.P+(t+1)*e.spr])
 		}
 	}
-	dt.Convolve += time.Since(t0)
-	tr.End(tid, rank, instrument.StageConvolve.String())
+	e.dt.Convolve += time.Since(t0)
+	e.tr.End(e.tid, rank, instrument.StageConvolve.String())
 	if err := ctx.Err(); err != nil {
-		return dt, err
+		return nil, err
 	}
+	return send, nil
+}
 
-	// Phase 3: the single all-to-all (stride-P permutation P_perm^{P,N'}).
-	t0 = time.Now()
-	tr.Begin(tid, rank, instrument.StageExchange.String())
-	var recv []complex128
-	if p.Exchange == ExchangePairwise {
-		counts := make([]int, r)
-		for i := range counts {
-			counts[i] = chunk
-		}
-		recv = c.PairwiseAlltoallv(send, counts, counts)
-	} else {
-		recv = c.Alltoall(send, chunk)
-	}
-	dt.Exchange = time.Since(t0)
-	tr.End(tid, rank, instrument.StageExchange.String())
-	if err := ctx.Err(); err != nil {
-		return dt, err
-	}
-
-	// Phase 4: assemble each owned segment's oversampled sequence, run
-	// F_M', project and demodulate.
-	t0 = time.Now()
-	tr.Begin(tid, rank, instrument.StageSegmentFFT.String())
-	parfor(workers, spr, func(sLo, sHi int) {
+// phase4 assembles, segment-FFTs and demodulates one rank's worth of
+// owned segments into out (nLocal elements). chunkOf(src) must return
+// the bpr·spr chunk that source rank src addressed to the output owner;
+// the segment pipeline itself is owner-agnostic (the global segment
+// identity is baked into the chunk data by the phase-2 modulation), so
+// the coded driver reuses it verbatim to take over a dead rank's output
+// with bit-identical results.
+func (e *distExec) phase4(chunkOf func(src int) []complex128, out []complex128) {
+	pl := e.pl
+	parfor(e.workers, e.spr, func(sLo, sHi int) {
 		w0 := time.Now()
 		xt := make([]complex128, pl.mp)
 		yt := make([]complex128, pl.mp)
 		for ss := sLo; ss < sHi; ss++ {
-			for src := 0; src < r; src++ {
-				cb := recv[src*chunk : (src+1)*chunk]
-				for j := 0; j < bpr; j++ {
-					xt[src*bpr+j] = cb[j*spr+ss]
+			for src := 0; src < e.r; src++ {
+				cb := chunkOf(src)
+				for j := 0; j < e.bpr; j++ {
+					xt[src*e.bpr+j] = cb[j*e.spr+ss]
 				}
 			}
 			pl.SegmentFFT(yt, xt)
-			pl.Demodulate(localOut[ss*pl.m:(ss+1)*pl.m], yt)
+			pl.Demodulate(out[ss*pl.m:(ss+1)*pl.m], yt)
 		}
-		if timed {
-			segBusy.Add(int64(time.Since(w0)))
+		if e.timed {
+			e.segBusy.Add(int64(time.Since(w0)))
 		}
 	})
-	dt.SegmentFT = time.Since(t0)
-	tr.End(tid, rank, instrument.StageSegmentFFT.String())
+}
 
-	if rec.On() {
-		rec.AddTransform() // counts per-rank executions on the distributed path
-		wall := dt
-		if !rec.Timing() {
-			wall = DistributedTimes{}
-		}
-		rec.ObserveStage(instrument.StageHalo, wall.Halo, 0, 1, 0)
-		rec.ObserveStage(instrument.StageConvolve, wall.Convolve,
-			time.Duration(convBusy.Load()), workers, pl.convStageFlops()/int64(r))
-		rec.ObserveStage(instrument.StageExchange, wall.Exchange, 0, 1, 0)
-		rec.ObserveStage(instrument.StageSegmentFFT, wall.SegmentFT,
-			time.Duration(segBusy.Load()), workers,
-			(pl.segmentStageFlops()+pl.demodStageFlops())/int64(r))
+// report books the transform's stage observations into the plan's
+// recorder (no-op when instrumentation is off).
+func (e *distExec) report() {
+	rec := e.pl.rec
+	if !rec.On() {
+		return
 	}
-	return dt, nil
+	rec.AddTransform() // counts per-rank executions on the distributed path
+	wall := e.dt
+	if !rec.Timing() {
+		wall = DistributedTimes{}
+	}
+	rec.ObserveStage(instrument.StageHalo, wall.Halo, 0, 1, 0)
+	rec.ObserveStage(instrument.StageConvolve, wall.Convolve,
+		time.Duration(e.convBusy.Load()), e.workers, e.pl.convStageFlops()/int64(e.r))
+	rec.ObserveStage(instrument.StageExchange, wall.Exchange, 0, 1, 0)
+	rec.ObserveStage(instrument.StageSegmentFFT, wall.SegmentFT,
+		time.Duration(e.segBusy.Load()), e.workers,
+		(e.pl.segmentStageFlops()+e.pl.demodStageFlops())/int64(e.r))
 }

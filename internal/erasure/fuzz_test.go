@@ -1,0 +1,75 @@
+package erasure
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// FuzzErasureRoundtrip drives the codec with arbitrary shapes and
+// erasure patterns: every call must either reconstruct the data shares
+// bit-exactly or return one of the package's typed errors — never
+// panic, never return a wrong answer silently.
+func FuzzErasureRoundtrip(f *testing.F) {
+	f.Add(int64(1), 4, 1, 64, uint64(0b1))
+	f.Add(int64(2), 4, 2, 16, uint64(0b101))
+	f.Add(int64(3), 1, 0, 1, uint64(0))
+	f.Add(int64(4), 8, 3, 240, uint64(0b10010001))
+	f.Add(int64(5), 0, -1, 7, uint64(^uint64(0)))
+	f.Add(int64(6), 300, 5, 3, uint64(0b11))
+	f.Fuzz(func(t *testing.T, seed int64, k, m, size int, eraseMask uint64) {
+		c, err := New(k, m)
+		if err != nil {
+			return // typed rejection of the shape is a valid outcome
+		}
+		if size < 0 {
+			size = -size
+		}
+		size %= 1 << 12
+
+		rng := rand.New(rand.NewSource(seed))
+		data := make([][]byte, k)
+		for i := range data {
+			data[i] = make([]byte, size)
+			rng.Read(data[i])
+		}
+		orig := make([][]byte, k)
+		for i := range orig {
+			orig[i] = append([]byte(nil), data[i]...)
+		}
+		parity := make([][]byte, m)
+		for i := range parity {
+			parity[i] = make([]byte, size)
+		}
+		if err := c.Encode(data, parity); err != nil {
+			t.Fatalf("encode of well-formed shares failed: %v", err)
+		}
+
+		shares := make([][]byte, k+m)
+		copy(shares, data)
+		copy(shares[k:], parity)
+		erased := 0
+		for i := range shares {
+			if eraseMask&(1<<(uint(i)%64)) != 0 {
+				shares[i] = nil
+				erased++
+			}
+		}
+
+		err = c.Reconstruct(shares)
+		if k+m-erased < k {
+			if err == nil {
+				t.Fatalf("k=%d m=%d erased=%d: reconstruct succeeded past the parity budget", k, m, erased)
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("k=%d m=%d erased=%d: %v", k, m, erased, err)
+		}
+		for i := 0; i < k; i++ {
+			if !bytes.Equal(shares[i], orig[i]) {
+				t.Fatalf("k=%d m=%d erased=%d: data share %d not bit-exact", k, m, erased, i)
+			}
+		}
+	})
+}

@@ -205,18 +205,64 @@ func (g *Gateway) probeAll() {
 	wg.Wait()
 }
 
+// healthLoop re-probes the replica set forever. Both the period and the
+// per-replica probe launch are jittered: gateways restarted together
+// (a fleet rollout) would otherwise align their probes into
+// synchronized bursts that hit every replica at the same instant. The
+// period wanders ±1/5 around the configured interval, and within each
+// round every replica's probe starts at an independent random offset
+// inside a window of at most interval/5 (capped at 2s).
 func (g *Gateway) healthLoop() {
 	defer g.healthWG.Done()
-	t := time.NewTicker(g.cfg.HealthInterval)
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	t := time.NewTimer(jitteredInterval(g.cfg.HealthInterval, rng))
 	defer t.Stop()
 	for {
 		select {
 		case <-g.healthStop:
 			return
 		case <-t.C:
-			g.probeAll()
+			g.probeStaggered(rng)
+			t.Reset(jitteredInterval(g.cfg.HealthInterval, rng))
 		}
 	}
+}
+
+// jitteredInterval spreads d uniformly over [4d/5, 6d/5].
+func jitteredInterval(d time.Duration, rng *rand.Rand) time.Duration {
+	j := d / 5
+	if j <= 0 {
+		return d
+	}
+	return d - j + time.Duration(rng.Int63n(int64(2*j)+1))
+}
+
+// probeStaggered is the periodic sibling of probeAll: same fan-out, but
+// each replica's probe is delayed by a random offset so one round does
+// not land on every replica simultaneously. The synchronous probeAll
+// stays un-staggered — New and SetReplicas need routing state now.
+func (g *Gateway) probeStaggered(rng *rand.Rand) {
+	to := g.probeTimeout()
+	hc := &http.Client{Timeout: to}
+	window := g.cfg.HealthInterval / 5
+	if window > 2*time.Second {
+		window = 2 * time.Second
+	}
+	var wg sync.WaitGroup
+	for _, r := range g.reg.all() {
+		delay := time.Duration(rng.Int63n(int64(window) + 1))
+		wg.Add(1)
+		go func(r *replica, delay time.Duration) {
+			defer wg.Done()
+			select {
+			case <-time.After(delay):
+			case <-g.healthStop:
+				return
+			}
+			g.reg.probe(r, hc, to)
+		}(r, delay)
+	}
+	wg.Wait()
 }
 
 // Listen binds the configured address.

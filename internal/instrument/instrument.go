@@ -121,6 +121,14 @@ type commCounters struct {
 	retransmits    atomic.Int64
 	deadlineEvents atomic.Int64
 	checksumErrors atomic.Int64
+
+	// Coded-exchange counters: the redundancy overhead (parity shares on
+	// the wire), the repair traffic (view/agree/pool/refill frames), and
+	// the outcomes (codewords rebuilt, transforms that finished degraded).
+	parityBytes     atomic.Int64
+	recoveryBytes   atomic.Int64
+	reconstructions atomic.Int64
+	degraded        atomic.Int64
 }
 
 // Recorder accumulates observations. All methods are safe for concurrent
@@ -218,6 +226,44 @@ func (r *Recorder) CountAlltoallOp() {
 	r.comm.alltoalls.Add(1)
 }
 
+// CountParityBytes adds erasure parity payload this rank shipped in a
+// coded exchange — the wire overhead the coded mode pays over the plain
+// all-to-all's 16·(1+β)·N·(R−1)/R bytes.
+func (r *Recorder) CountParityBytes(bytes int64) {
+	if r == nil {
+		return
+	}
+	r.comm.parityBytes.Add(bytes)
+}
+
+// CountRecoveryBytes adds control and repair payload moved by the coded
+// exchange's failure protocol (view/agreement masks, share pooling,
+// chunk refills, output takeover traffic).
+func (r *Recorder) CountRecoveryBytes(bytes int64) {
+	if r == nil {
+		return
+	}
+	r.comm.recoveryBytes.Add(bytes)
+}
+
+// CountReconstruction records one erasure codeword rebuilt from parity
+// (one per recovered source rank per transform).
+func (r *Recorder) CountReconstruction() {
+	if r == nil {
+		return
+	}
+	r.comm.reconstructions.Add(1)
+}
+
+// CountDegraded records one transform that completed degraded (correct
+// output, one or more ranks reconstructed).
+func (r *Recorder) CountDegraded() {
+	if r == nil {
+		return
+	}
+	r.comm.degraded.Add(1)
+}
+
 // CountRetransmit records a transport-level retry (e.g. a mesh dial
 // retry while peers launch).
 func (r *Recorder) CountRetransmit() {
@@ -264,6 +310,10 @@ func (r *Recorder) Reset() {
 	r.comm.retransmits.Store(0)
 	r.comm.deadlineEvents.Store(0)
 	r.comm.checksumErrors.Store(0)
+	r.comm.parityBytes.Store(0)
+	r.comm.recoveryBytes.Store(0)
+	r.comm.reconstructions.Store(0)
+	r.comm.degraded.Store(0)
 }
 
 // StageSnapshot is the point-in-time copy of one stage's counters.
@@ -304,6 +354,16 @@ type CommSnapshot struct {
 	Retransmits    int64
 	DeadlineEvents int64
 	ChecksumErrors int64
+
+	// ParityBytes is erasure parity payload shipped by coded exchanges.
+	ParityBytes int64
+	// RecoveryBytes is coded-mode control/repair payload (view masks,
+	// share pooling, refills, takeovers).
+	RecoveryBytes int64
+	// Reconstructions counts erasure codewords rebuilt from parity.
+	Reconstructions int64
+	// DegradedTransforms counts transforms completed with reconstruction.
+	DegradedTransforms int64
 }
 
 // Snapshot is a point-in-time copy of every counter.
@@ -337,13 +397,17 @@ func (r *Recorder) Snapshot() Snapshot {
 		}
 	}
 	s.Comm = CommSnapshot{
-		Messages:       r.comm.messages.Load(),
-		Bytes:          r.comm.bytes.Load(),
-		Alltoalls:      r.comm.alltoalls.Load(),
-		AlltoallBytes:  r.comm.alltoallBytes.Load(),
-		Retransmits:    r.comm.retransmits.Load(),
-		DeadlineEvents: r.comm.deadlineEvents.Load(),
-		ChecksumErrors: r.comm.checksumErrors.Load(),
+		Messages:           r.comm.messages.Load(),
+		Bytes:              r.comm.bytes.Load(),
+		Alltoalls:          r.comm.alltoalls.Load(),
+		AlltoallBytes:      r.comm.alltoallBytes.Load(),
+		Retransmits:        r.comm.retransmits.Load(),
+		DeadlineEvents:     r.comm.deadlineEvents.Load(),
+		ChecksumErrors:     r.comm.checksumErrors.Load(),
+		ParityBytes:        r.comm.parityBytes.Load(),
+		RecoveryBytes:      r.comm.recoveryBytes.Load(),
+		Reconstructions:    r.comm.reconstructions.Load(),
+		DegradedTransforms: r.comm.degraded.Load(),
 	}
 	return s
 }

@@ -52,6 +52,10 @@ func WritePrometheus(w io.Writer, prefix string, labels map[string]string, s Sna
 	counter("comm_retransmits_total", "", s.Comm.Retransmits, "")
 	counter("comm_deadline_events_total", "", s.Comm.DeadlineEvents, "")
 	counter("comm_checksum_errors_total", "", s.Comm.ChecksumErrors, "")
+	counter("comm_parity_bytes_total", "", s.Comm.ParityBytes, "")
+	counter("comm_recovery_bytes_total", "", s.Comm.RecoveryBytes, "")
+	counter("comm_reconstructions_total", "", s.Comm.Reconstructions, "")
+	counter("comm_degraded_transforms_total", "", s.Comm.DegradedTransforms, "")
 }
 
 // formatLabels renders a label map in sorted order without braces

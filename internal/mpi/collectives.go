@@ -108,16 +108,30 @@ func (c *Comm) reduceInternal(root, tag int, v complex128) complex128 {
 }
 
 // Gather concatenates equal-length chunks at the root: the result at root
-// is size*len(chunk) elements ordered by rank; other ranks get nil.
+// is size*len(chunk) elements ordered by rank; other ranks get nil. A
+// chunk-length mismatch panics with a typed *CollectiveError (use
+// GatherChecked for an error return).
 func (c *Comm) Gather(root int, chunk []complex128) []complex128 {
+	out, err := c.GatherChecked(root, chunk)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// GatherChecked is Gather returning typed errors instead of panicking:
+// *CollectiveError wrapping ErrCountMismatch when a peer's chunk length
+// disagrees with ours, or the abort fault if the world died mid-call.
+func (c *Comm) GatherChecked(root int, chunk []complex128) (out []complex128, err error) {
+	defer recoverFault(&err)
 	if c.rank == root {
 		c.world.stats.gathers.Add(1)
 	}
 	if c.rank != root {
 		c.send(root, tagGather, chunk)
-		return nil
+		return nil, nil
 	}
-	out := make([]complex128, len(chunk)*c.world.size)
+	out = make([]complex128, len(chunk)*c.world.size)
 	copy(out[c.rank*len(chunk):], chunk)
 	for r := 0; r < c.world.size; r++ {
 		if r == root {
@@ -125,11 +139,12 @@ func (c *Comm) Gather(root int, chunk []complex128) []complex128 {
 		}
 		data := c.recv(r, tagGather).([]complex128)
 		if len(data) != len(chunk) {
-			panic(fmt.Sprintf("mpi: gather chunk length mismatch: %d vs %d", len(data), len(chunk)))
+			return nil, &CollectiveError{Op: "gather", Rank: c.rank, Err: fmt.Errorf(
+				"%w: chunk from rank %d is %d elements, want %d", ErrCountMismatch, r, len(data), len(chunk))}
 		}
 		copy(out[r*len(chunk):], data)
 	}
-	return out
+	return out, nil
 }
 
 // Allgather gives every rank the concatenation of all chunks.
@@ -157,23 +172,34 @@ func (c *Comm) Alltoall(send []complex128, chunk int) []complex128 {
 // Alltoallv is Alltoall with per-destination counts. send holds the
 // outgoing chunks back-to-back in rank order with lengths sendCounts;
 // the result holds incoming chunks in rank order with lengths recvCounts.
+// Malformed counts panic with a typed *CollectiveError (use
+// AlltoallvChecked for an error return).
 func (c *Comm) Alltoallv(send []complex128, sendCounts, recvCounts []int) []complex128 {
+	out, err := c.AlltoallvChecked(send, sendCounts, recvCounts)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// AlltoallvChecked is Alltoallv returning typed errors instead of
+// panicking: *CollectiveError wrapping ErrCountMismatch for count/length
+// disagreements (naming the offending peer), or the abort fault if the
+// world died mid-call.
+func (c *Comm) AlltoallvChecked(send []complex128, sendCounts, recvCounts []int) (out []complex128, err error) {
+	defer recoverFault(&err)
 	size := c.world.size
 	if len(sendCounts) != size || len(recvCounts) != size {
-		panic(fmt.Sprintf("mpi: alltoallv needs %d counts, got %d/%d", size, len(sendCounts), len(recvCounts)))
+		return nil, &CollectiveError{Op: "alltoallv", Rank: c.rank, Err: fmt.Errorf(
+			"%w: needs %d counts, got %d/%d", ErrCountMismatch, size, len(sendCounts), len(recvCounts))}
 	}
 	if c.rank == 0 {
 		c.world.stats.alltoalls.Add(1)
 	}
-	total := 0
-	offs := make([]int, size+1)
-	for r, n := range sendCounts {
-		offs[r] = total
-		total += n
-	}
-	offs[size] = total
-	if len(send) != total {
-		panic(fmt.Sprintf("mpi: alltoallv send length %d, counts sum %d", len(send), total))
+	offs := prefix(sendCounts)
+	if len(send) != offs[size] {
+		return nil, &CollectiveError{Op: "alltoallv", Rank: c.rank, Err: fmt.Errorf(
+			"%w: send length %d, counts sum %d", ErrCountMismatch, len(send), offs[size])}
 	}
 	// Post every send first (buffered, cannot block), then drain receives.
 	for r := 0; r < size; r++ {
@@ -184,14 +210,8 @@ func (c *Comm) Alltoallv(send []complex128, sendCounts, recvCounts []int) []comp
 		c.world.stats.alltoallBytes.Add(sizeOf(chunk))
 		c.send(r, tagAlltoall, chunk)
 	}
-	recvTotal := 0
-	roffs := make([]int, size+1)
-	for r, n := range recvCounts {
-		roffs[r] = recvTotal
-		recvTotal += n
-	}
-	roffs[size] = recvTotal
-	out := make([]complex128, recvTotal)
+	roffs := prefix(recvCounts)
+	out = make([]complex128, roffs[size])
 	copy(out[roffs[c.rank]:roffs[c.rank+1]], send[offs[c.rank]:offs[c.rank+1]])
 	for r := 0; r < size; r++ {
 		if r == c.rank {
@@ -199,9 +219,10 @@ func (c *Comm) Alltoallv(send []complex128, sendCounts, recvCounts []int) []comp
 		}
 		data := c.recv(r, tagAlltoall).([]complex128)
 		if len(data) != recvCounts[r] {
-			panic(fmt.Sprintf("mpi: alltoallv expected %d from rank %d, got %d", recvCounts[r], r, len(data)))
+			return nil, &CollectiveError{Op: "alltoallv", Rank: c.rank, Err: fmt.Errorf(
+				"%w: expected %d elements from rank %d, got %d", ErrCountMismatch, recvCounts[r], r, len(data))}
 		}
 		copy(out[roffs[r]:roffs[r+1]], data)
 	}
-	return out
+	return out, nil
 }

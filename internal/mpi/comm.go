@@ -32,6 +32,22 @@ func (c *Comm) RecvC(from, tag int) []complex128 {
 	return c.recv(from, tag).([]complex128)
 }
 
+// SendChecked is Send returning the abort fault as an error instead of
+// letting it unwind the rank. On the in-process runtime sends are
+// buffered and cannot otherwise fail.
+func (c *Comm) SendChecked(to, tag int, data any) (err error) {
+	defer recoverFault(&err)
+	c.send(to, tag, data)
+	return nil
+}
+
+// RecvCChecked is RecvC returning typed faults (the abort error when the
+// world died mid-receive) instead of panicking.
+func (c *Comm) RecvCChecked(from, tag int) (out []complex128, err error) {
+	defer recoverFault(&err)
+	return c.recv(from, tag).([]complex128), nil
+}
+
 // Sendrecv exchanges payloads with two (possibly distinct) partners in a
 // deadlock-free way and returns the received payload.
 func (c *Comm) Sendrecv(to, sendTag int, data any, from, recvTag int) any {

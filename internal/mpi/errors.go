@@ -1,0 +1,51 @@
+package mpi
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrCountMismatch is the sentinel cause for collective calls whose
+// count arguments or received payload lengths disagree with the world
+// size or the peer's counts. Match with errors.Is.
+var ErrCountMismatch = errors.New("mpi: count mismatch")
+
+// CollectiveError is a typed failure of one collective call on one
+// rank. It implements the core.Fault contract (CommFault), so a panic
+// carrying it is converted to an error return by core.RecoverFault and
+// stored typed by World.Run instead of being flattened into a generic
+// "rank panicked" string.
+type CollectiveError struct {
+	Op   string // "gather", "alltoallv", "pairwise_alltoallv", ...
+	Rank int    // the rank that detected the failure
+	Err  error  // cause; wraps ErrCountMismatch for shape errors
+}
+
+func (e *CollectiveError) Error() string {
+	return fmt.Sprintf("mpi: %s on rank %d: %v", e.Op, e.Rank, e.Err)
+}
+
+func (e *CollectiveError) Unwrap() error { return e.Err }
+
+// CommFault marks the error as a communication fault.
+func (e *CollectiveError) CommFault() {}
+
+// commFault matches any typed communication fault carried by a panic
+// (AbortError, CollectiveError, mpinet.TransportError, ...).
+type commFault interface {
+	error
+	CommFault()
+}
+
+// recoverFault converts a comm-fault panic into an error return for the
+// *Checked collective variants. Non-fault panics (tag mismatches,
+// invalid ranks — SPMD programming bugs) keep propagating.
+func recoverFault(err *error) {
+	if p := recover(); p != nil {
+		if e, ok := p.(commFault); ok {
+			*err = e
+			return
+		}
+		panic(p)
+	}
+}

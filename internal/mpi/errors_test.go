@@ -1,0 +1,139 @@
+package mpi
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestGatherMismatchTyped: a rank sending the wrong chunk length must
+// surface as a typed CollectiveError from World.Run, not a crash.
+func TestGatherMismatchTyped(t *testing.T) {
+	w, err := NewWorld(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = w.Run(func(c *Comm) error {
+		n := 4
+		if c.Rank() == 2 {
+			n = 5 // malformed: disagrees with the other ranks
+		}
+		c.Gather(0, make([]complex128, n))
+		return nil
+	})
+	var ce *CollectiveError
+	if !errors.As(err, &ce) {
+		t.Fatalf("got %v (%T), want *CollectiveError", err, err)
+	}
+	if ce.Op != "gather" || ce.Rank != 0 {
+		t.Errorf("fault attributed to op=%q rank=%d, want gather on rank 0", ce.Op, ce.Rank)
+	}
+	if !errors.Is(err, ErrCountMismatch) {
+		t.Errorf("error %v does not wrap ErrCountMismatch", err)
+	}
+}
+
+// TestGatherCheckedMismatch: the checked variant returns the error
+// directly on the detecting rank.
+func TestGatherCheckedMismatch(t *testing.T) {
+	w, _ := NewWorld(2)
+	err := w.Run(func(c *Comm) error {
+		n := 2 + c.Rank()
+		out, err := c.GatherChecked(0, make([]complex128, n))
+		if c.Rank() == 0 {
+			if !errors.Is(err, ErrCountMismatch) {
+				t.Errorf("rank 0: got %v, want ErrCountMismatch", err)
+			}
+			if out != nil {
+				t.Errorf("rank 0: got partial result alongside error")
+			}
+		}
+		return nil
+	})
+	// Rank 0 swallowed the typed error deliberately; the world stays up.
+	if err != nil {
+		t.Fatalf("world failed: %v", err)
+	}
+}
+
+// TestAlltoallvMalformedCounts: wrong count-slice lengths and
+// inconsistent send lengths are typed errors for both implementations.
+func TestAlltoallvMalformedCounts(t *testing.T) {
+	w, _ := NewWorld(2)
+	err := w.Run(func(c *Comm) error {
+		if _, err := c.AlltoallvChecked(nil, []int{1}, []int{1, 1}); !errors.Is(err, ErrCountMismatch) {
+			t.Errorf("alltoallv short counts: %v", err)
+		}
+		if _, err := c.AlltoallvChecked(make([]complex128, 3), []int{1, 1}, []int{1, 1}); !errors.Is(err, ErrCountMismatch) {
+			t.Errorf("alltoallv bad send length: %v", err)
+		}
+		if _, err := c.PairwiseAlltoallvChecked(nil, []int{1}, []int{1, 1}); !errors.Is(err, ErrCountMismatch) {
+			t.Errorf("pairwise short counts: %v", err)
+		}
+		if _, err := c.PairwiseAlltoallvChecked(make([]complex128, 3), []int{1, 1}, []int{1, 1}); !errors.Is(err, ErrCountMismatch) {
+			t.Errorf("pairwise bad send length: %v", err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("world failed: %v", err)
+	}
+}
+
+// TestAlltoallvPeerCountMismatch: ranks disagreeing about recvCounts is
+// detected on receive and names the offending peer.
+func TestAlltoallvPeerCountMismatch(t *testing.T) {
+	w, _ := NewWorld(2)
+	err := w.Run(func(c *Comm) error {
+		sendCounts := []int{1, 1}
+		recvCounts := []int{1, 1}
+		if c.Rank() == 0 {
+			recvCounts = []int{1, 2} // expects more than rank 1 sends
+		}
+		c.Alltoallv(make([]complex128, 2), sendCounts, recvCounts)
+		return nil
+	})
+	var ce *CollectiveError
+	if !errors.As(err, &ce) {
+		t.Fatalf("got %v (%T), want *CollectiveError", err, err)
+	}
+	if !errors.Is(err, ErrCountMismatch) {
+		t.Errorf("error %v does not wrap ErrCountMismatch", err)
+	}
+}
+
+// TestRunKeepsTypedFaults: a panic carrying a comm fault comes back from
+// Run as that same typed error.
+func TestRunKeepsTypedFaults(t *testing.T) {
+	w, _ := NewWorld(2)
+	want := &CollectiveError{Op: "test", Rank: 1, Err: ErrCountMismatch}
+	err := w.Run(func(c *Comm) error {
+		if c.Rank() == 1 {
+			panic(want)
+		}
+		c.Recv(1, 0) // blocks until the abort wakes it
+		return nil
+	})
+	var ce *CollectiveError
+	if !errors.As(err, &ce) || ce != want {
+		t.Fatalf("got %v, want the original *CollectiveError", err)
+	}
+}
+
+// TestCheckedAbortSurfaces: SendChecked/RecvCChecked convert the abort
+// fault to an error return.
+func TestCheckedAbortSurfaces(t *testing.T) {
+	w, _ := NewWorld(2)
+	errs := make([]error, 2)
+	_ = w.Run(func(c *Comm) error {
+		if c.Rank() == 1 {
+			return errors.New("rank 1 dies")
+		}
+		_, err := c.RecvCChecked(1, 7)
+		errs[0] = err
+		return nil
+	})
+	var ae *AbortError
+	if !errors.As(errs[0], &ae) {
+		t.Fatalf("rank 0 RecvCChecked: got %v, want *AbortError", errs[0])
+	}
+}

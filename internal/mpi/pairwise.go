@@ -10,10 +10,21 @@ import "fmt"
 // keeps every link busy without hot spots. Semantics and counters are
 // identical to Alltoallv.
 func (c *Comm) PairwiseAlltoallv(send []complex128, sendCounts, recvCounts []int) []complex128 {
+	out, err := c.PairwiseAlltoallvChecked(send, sendCounts, recvCounts)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// PairwiseAlltoallvChecked is PairwiseAlltoallv returning typed errors
+// instead of panicking, mirroring AlltoallvChecked.
+func (c *Comm) PairwiseAlltoallvChecked(send []complex128, sendCounts, recvCounts []int) (out []complex128, err error) {
+	defer recoverFault(&err)
 	size := c.world.size
 	if len(sendCounts) != size || len(recvCounts) != size {
-		panic(fmt.Sprintf("mpi: pairwise alltoallv needs %d counts, got %d/%d",
-			size, len(sendCounts), len(recvCounts)))
+		return nil, &CollectiveError{Op: "pairwise_alltoallv", Rank: c.rank, Err: fmt.Errorf(
+			"%w: needs %d counts, got %d/%d", ErrCountMismatch, size, len(sendCounts), len(recvCounts))}
 	}
 	if c.rank == 0 {
 		c.world.stats.alltoalls.Add(1)
@@ -21,9 +32,10 @@ func (c *Comm) PairwiseAlltoallv(send []complex128, sendCounts, recvCounts []int
 	offs := prefix(sendCounts)
 	roffs := prefix(recvCounts)
 	if len(send) != offs[size] {
-		panic(fmt.Sprintf("mpi: pairwise alltoallv send length %d, counts sum %d", len(send), offs[size]))
+		return nil, &CollectiveError{Op: "pairwise_alltoallv", Rank: c.rank, Err: fmt.Errorf(
+			"%w: send length %d, counts sum %d", ErrCountMismatch, len(send), offs[size])}
 	}
-	out := make([]complex128, roffs[size])
+	out = make([]complex128, roffs[size])
 	copy(out[roffs[c.rank]:roffs[c.rank+1]], send[offs[c.rank]:offs[c.rank+1]])
 	for d := 1; d < size; d++ {
 		to := (c.rank + d) % size
@@ -32,12 +44,12 @@ func (c *Comm) PairwiseAlltoallv(send []complex128, sendCounts, recvCounts []int
 		c.world.stats.alltoallBytes.Add(sizeOf(chunk))
 		data := c.Sendrecv(to, tagAlltoall-d, chunk, from, tagAlltoall-d).([]complex128)
 		if len(data) != recvCounts[from] {
-			panic(fmt.Sprintf("mpi: pairwise alltoallv expected %d from rank %d, got %d",
-				recvCounts[from], from, len(data)))
+			return nil, &CollectiveError{Op: "pairwise_alltoallv", Rank: c.rank, Err: fmt.Errorf(
+				"%w: expected %d elements from rank %d, got %d", ErrCountMismatch, recvCounts[from], from, len(data))}
 		}
 		copy(out[roffs[from]:roffs[from+1]], data)
 	}
-	return out
+	return out, nil
 }
 
 // PairwiseAlltoall is the equal-counts form of PairwiseAlltoallv.

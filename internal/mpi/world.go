@@ -112,6 +112,13 @@ func (w *World) Run(fn func(c *Comm) error) error {
 						errs[rank] = ae
 						return
 					}
+					if cf, ok := p.(commFault); ok {
+						// Typed communication faults (CollectiveError,
+						// transport errors) stay typed through Run.
+						errs[rank] = cf
+						w.abort()
+						return
+					}
 					errs[rank] = fmt.Errorf("mpi: rank %d panicked: %v", rank, p)
 					w.abort()
 				}

@@ -1,0 +1,301 @@
+// Coded-exchange chaos: rank death mid-transform over real TCP. The
+// invariant is strictly stronger than the plain chaos matrix's: with m
+// parity shares, killing a single rank after its exchange frames
+// flushed must yield the bit-exact spectrum on every survivor plus a
+// typed *core.DegradedError naming the victim; killing more ranks than
+// the parity budget covers must fail typed on every survivor within the
+// deadline bounds — never a hang, never a silently wrong spectrum.
+package mpinet
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"testing"
+	"time"
+
+	"soifft/internal/core"
+	"soifft/internal/faultnet"
+	"soifft/internal/instrument"
+	"soifft/internal/signal"
+)
+
+const codedRanks = 4
+
+// codedChaosPlan builds the chaos-suite plan shape and its serial
+// reference spectrum; the distributed pipeline matches the serial one
+// bit for bit, so comparisons below demand exact equality.
+func codedChaosPlan(t *testing.T) (*core.Plan, []complex128, []complex128) {
+	t.Helper()
+	pl, err := core.NewPlan(core.Params{N: 2048, P: 8, Mu: 5, Nu: 4, B: 48})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := signal.Random(2048, 13)
+	want := make([]complex128, len(src))
+	if err := pl.Transform(want, src); err != nil {
+		t.Fatal(err)
+	}
+	return pl, src, want
+}
+
+var errChaosKill = errors.New("chaos: failpoint kill")
+
+// killAtExchange arms the coded failpoint to kill the victims right
+// after their exchange frames are queued: Shutdown flushes the queue
+// and half-closes (FIN after the frames, never an RST that would
+// destroy them in survivors' kernel buffers) — the graceful post-flush
+// death the parity budget is specified for. chaosMesh's cleanup still
+// fully Closes every proc at the end.
+func killAtExchange(t *testing.T, procs []*Proc, victims ...int) {
+	t.Helper()
+	vset := make(map[int]bool, len(victims))
+	for _, v := range victims {
+		vset[v] = true
+	}
+	prev := core.CodedExchangeFailpoint
+	core.CodedExchangeFailpoint = func(rank int) error {
+		if vset[rank] {
+			procs[rank].Shutdown()
+			return errChaosKill
+		}
+		return nil
+	}
+	t.Cleanup(func() { core.CodedExchangeFailpoint = prev })
+}
+
+// TestChaosCodedSurvivesRankDeathMidExchange is the headline
+// acceptance: R=4, m=1, kill any single rank mid-exchange; every
+// survivor completes with the bit-exact spectrum and a DegradedError
+// naming the victim, and the degraded gather still assembles the full
+// bit-exact result. Counters for the run are exported for CI when
+// CODED_COUNTERS_JSON is set.
+func TestChaosCodedSurvivesRankDeathMidExchange(t *testing.T) {
+	const ioT = time.Second
+	pl, src, want := codedChaosPlan(t)
+	nLocal := len(src) / codedRanks
+	rec := instrument.New(instrument.LevelCounters)
+	pl.SetRecorder(rec)
+	defer pl.SetRecorder(nil)
+
+	for victim := 0; victim < codedRanks; victim++ {
+		victim := victim
+		t.Run(fmt.Sprintf("victim%d", victim), func(t *testing.T) {
+			procs := chaosMesh(t, codedRanks, ioT, nil)
+			killAtExchange(t, procs, victim)
+			wantCoord := 0
+			if victim == 0 {
+				wantCoord = 1
+			}
+			wantAt := 0 // gather root, rerouted to the coordinator if dead
+			if victim == 0 {
+				wantAt = wantCoord
+			}
+			fulls := make([][]complex128, codedRanks)
+			degs := make([]*core.DegradedError, codedRanks)
+			errs, elapsed := runRanks(t, procs, 2*ioT, func(p *Proc) error {
+				rank := p.Rank()
+				out := make([]complex128, nLocal)
+				_, err := pl.RunDistributedCoded(p, 1, out, src[rank*nLocal:(rank+1)*nLocal])
+				if rank == victim {
+					return err
+				}
+				var deg *core.DegradedError
+				if !errors.As(err, &deg) {
+					return fmt.Errorf("transform: %w", err)
+				}
+				degs[rank] = deg
+				full, at, err := core.GatherDegraded(p, 0, out, deg)
+				if err != nil {
+					return fmt.Errorf("degraded gather: %w", err)
+				}
+				if at != wantAt {
+					return fmt.Errorf("gathered at rank %d, want %d", at, wantAt)
+				}
+				fulls[rank] = full
+				return nil
+			})
+			for rank, err := range errs {
+				if rank == victim {
+					if !errors.Is(err, errChaosKill) {
+						t.Errorf("victim: err %v, want the failpoint kill", err)
+					}
+					continue
+				}
+				if err != nil {
+					t.Errorf("survivor %d: %v", rank, err)
+					continue
+				}
+				deg := degs[rank]
+				if len(deg.ReconstructedRanks) != 1 || deg.ReconstructedRanks[0] != victim {
+					t.Errorf("survivor %d: reconstructed %v, want [%d]", rank, deg.ReconstructedRanks, victim)
+				}
+				if deg.Coordinator != wantCoord {
+					t.Errorf("survivor %d: coordinator %d, want %d", rank, deg.Coordinator, wantCoord)
+				}
+			}
+			if fulls[wantAt] == nil {
+				t.Fatal("no rank holds the gathered spectrum")
+			}
+			if e := signal.MaxAbsErr(fulls[wantAt], want); e != 0 {
+				t.Errorf("degraded spectrum differs from the reference by %.3e (must be bit-exact)", e)
+			}
+			if limit := 2*ioT + 2*time.Second; elapsed > limit {
+				t.Errorf("degraded run took %v, over the %v bound", elapsed, limit)
+			}
+		})
+	}
+
+	s := rec.Snapshot().Comm
+	if s.Reconstructions < int64(codedRanks) {
+		t.Errorf("reconstructions = %d, want >= %d (one per victim run)", s.Reconstructions, codedRanks)
+	}
+	if s.DegradedTransforms < int64(codedRanks*(codedRanks-1)) {
+		t.Errorf("degraded transforms = %d, want >= %d", s.DegradedTransforms, codedRanks*(codedRanks-1))
+	}
+	if s.ParityBytes == 0 || s.RecoveryBytes == 0 {
+		t.Errorf("parity/recovery bytes not booked: %+v", s)
+	}
+	if path := os.Getenv("CODED_COUNTERS_JSON"); path != "" {
+		b, err := json.MarshalIndent(s, "", "  ")
+		if err != nil {
+			t.Fatalf("marshal counters: %v", err)
+		}
+		if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+			t.Fatalf("write %s: %v", path, err)
+		}
+		t.Logf("coded counters written to %s", path)
+	}
+}
+
+// TestChaosCodedDoubleDeathBeyondBudgetFailsTyped kills m+1 ranks
+// against m=1: every survivor must fail with a typed
+// UnrecoverableLossError naming both dead peers, within 2× the I/O
+// deadline.
+func TestChaosCodedDoubleDeathBeyondBudgetFailsTyped(t *testing.T) {
+	const ioT = 500 * time.Millisecond
+	pl, src, _ := codedChaosPlan(t)
+	nLocal := len(src) / codedRanks
+	procs := chaosMesh(t, codedRanks, ioT, nil)
+	killAtExchange(t, procs, 1, 2)
+	errs, elapsed := runRanks(t, procs, 2*ioT, func(p *Proc) error {
+		out := make([]complex128, nLocal)
+		_, err := pl.RunDistributedCoded(p, 1, out, src[p.Rank()*nLocal:(p.Rank()+1)*nLocal])
+		return err
+	})
+	for _, rank := range []int{0, 3} {
+		var loss *core.UnrecoverableLossError
+		if !errors.As(errs[rank], &loss) {
+			t.Fatalf("survivor %d: err %v, want UnrecoverableLossError", rank, errs[rank])
+		}
+		if len(loss.DeadRanks) != 2 || loss.DeadRanks[0] != 1 || loss.DeadRanks[1] != 2 {
+			t.Errorf("survivor %d: dead ranks %v, want [1 2]", rank, loss.DeadRanks)
+		}
+		if loss.Parity != 1 {
+			t.Errorf("survivor %d: parity %d, want 1", rank, loss.Parity)
+		}
+	}
+	if limit := 2 * ioT; elapsed > limit {
+		t.Errorf("beyond-budget failure took %v, over the 2x-deadline %v bound", elapsed, limit)
+	}
+}
+
+// TestChaosCodedDeathWithoutParityFailsTyped: m=0 runs the detection
+// protocol with no repair capacity, so a single death is a typed loss
+// naming the victim on every survivor.
+func TestChaosCodedDeathWithoutParityFailsTyped(t *testing.T) {
+	const ioT = 500 * time.Millisecond
+	pl, src, _ := codedChaosPlan(t)
+	nLocal := len(src) / codedRanks
+	procs := chaosMesh(t, codedRanks, ioT, nil)
+	killAtExchange(t, procs, 2)
+	errs, _ := runRanks(t, procs, 2*ioT, func(p *Proc) error {
+		out := make([]complex128, nLocal)
+		_, err := pl.RunDistributedCoded(p, 0, out, src[p.Rank()*nLocal:(p.Rank()+1)*nLocal])
+		return err
+	})
+	for _, rank := range []int{0, 1, 3} {
+		var loss *core.UnrecoverableLossError
+		if !errors.As(errs[rank], &loss) {
+			t.Fatalf("survivor %d: err %v, want UnrecoverableLossError", rank, errs[rank])
+		}
+		if len(loss.DeadRanks) != 1 || loss.DeadRanks[0] != 2 {
+			t.Errorf("survivor %d: dead ranks %v, want [2]", rank, loss.DeadRanks)
+		}
+	}
+}
+
+// TestChaosCodedMatrix runs the coded transform under the seeded fault
+// families with rank 1's links faulty. The contract per rank: finish
+// clean, finish degraded (bit-exact spectrum after reconstructing the
+// unreachable rank), or fail with a typed fault within the bounds —
+// untyped errors, hangs, and wrong spectra are the only failures.
+func TestChaosCodedMatrix(t *testing.T) {
+	const ioT = 500 * time.Millisecond
+	pl, src, want := codedChaosPlan(t)
+	nLocal := len(src) / codedRanks
+	scenarios := []struct {
+		name string
+		plan faultnet.Plan
+	}{
+		{"drop", faultnet.Plan{DropProb: 0.4, After: 2}},
+		{"corrupt", faultnet.Plan{CorruptProb: 0.4, After: 2}},
+		{"reset", faultnet.Plan{ResetProb: 0.4, After: 2}},
+	}
+	for _, sc := range scenarios {
+		for seed := int64(1); seed <= 2; seed++ {
+			sc, seed := sc, seed
+			t.Run(fmt.Sprintf("%s/seed%d", sc.name, seed), func(t *testing.T) {
+				plan := sc.plan
+				plan.Seed = seed
+				procs := chaosMesh(t, codedRanks, ioT, func(self, peer int, c net.Conn) net.Conn {
+					if self != 1 {
+						return c
+					}
+					return plan.Conn(c, faultnet.LinkID(self, peer))
+				})
+				fulls := make([][]complex128, codedRanks)
+				errs, elapsed := runRanks(t, procs, 10*ioT, func(p *Proc) error {
+					rank := p.Rank()
+					out := make([]complex128, nLocal)
+					_, err := pl.RunDistributedCoded(p, 1, out, src[rank*nLocal:(rank+1)*nLocal])
+					var deg *core.DegradedError
+					if err != nil && !errors.As(err, &deg) {
+						return err
+					}
+					full, _, gerr := core.GatherDegraded(p, 0, out, deg)
+					if gerr != nil {
+						return gerr
+					}
+					fulls[rank] = full
+					return nil
+				})
+				for rank, err := range errs {
+					if err == nil {
+						continue
+					}
+					var fault core.Fault
+					if !errors.As(err, &fault) {
+						t.Errorf("rank %d returned untyped error %T: %v", rank, err, err)
+					} else {
+						t.Logf("rank %d: typed fault after %v: %v", rank, elapsed, err)
+					}
+				}
+				// Any rank that assembled a spectrum must have the exact one.
+				for rank, full := range fulls {
+					if full == nil {
+						continue
+					}
+					if e := signal.MaxAbsErr(full, want); e != 0 {
+						t.Errorf("rank %d gathered a wrong spectrum: max err %.3e", rank, e)
+					}
+				}
+				if limit := 10*ioT + 2*time.Second; elapsed > limit {
+					t.Errorf("run took %v, over the %v bound", elapsed, limit)
+				}
+			})
+		}
+	}
+}

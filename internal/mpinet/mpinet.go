@@ -377,12 +377,40 @@ func (p *Proc) Close() {
 	}
 }
 
+// Shutdown is the graceful half of dying: every link flushes its queued
+// frames and half-closes its write side (FIN, not RST), while reads stay
+// open so in-flight traffic from peers is still acknowledged and
+// drained. Peers observe a clean end-of-stream AFTER everything this
+// rank already sent — the post-flush death the coded exchange's parity
+// budget is specified against, and what a SIGTERM handler should call
+// before exiting. Abrupt deaths (Close, kill -9, RST) may instead
+// destroy this rank's frames still buffered in peers' kernels; coded
+// mode then fails typed rather than recovering. Call Close afterwards to
+// release the sockets.
+func (p *Proc) Shutdown() {
+	for _, pe := range p.peers {
+		if pe != nil {
+			pe.shutdown()
+		}
+	}
+}
+
 // Send transmits a []complex128 payload (the only type the SOI driver
 // moves) to rank `to`. Asynchronous: the frame is queued for the writer.
 // If the link to `to` has already failed, Send raises the peer's typed
 // *TransportError instead of queueing into the void (or blocking forever
 // on a full queue — the fail-fast path for dead peers).
 func (p *Proc) Send(to, tag int, data any) {
+	if err := p.SendChecked(to, tag, data); err != nil {
+		panic(err)
+	}
+}
+
+// SendChecked is Send returning the typed *TransportError instead of
+// raising it — the primitive the coded exchange uses, where a dead peer
+// is an expected outcome to route around rather than a rank-fatal fault.
+// Invalid payload types and ranks (programming errors) still panic.
+func (p *Proc) SendChecked(to, tag int, data any) error {
 	buf, ok := data.([]complex128)
 	if !ok {
 		panic(fmt.Sprintf("mpinet: unsupported payload type %T", data))
@@ -391,14 +419,26 @@ func (p *Proc) Send(to, tag int, data any) {
 		panic(fmt.Sprintf("mpinet: send to invalid rank %d", to))
 	}
 	if err := p.peers[to].send(encodeFrame(tag, buf)); err != nil {
-		panic(&TransportError{Rank: to, Op: "send", Err: err})
+		return &TransportError{Rank: to, Op: "send", Err: err}
 	}
+	return nil
 }
 
 // RecvC blocks for the next frame from rank `from` and checks its tag.
 // A dead link, a corrupted frame, or an expired I/O deadline raises a
 // typed *TransportError naming `from`.
 func (p *Proc) RecvC(from, tag int) []complex128 {
+	out, err := p.RecvCChecked(from, tag)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// RecvCChecked is RecvC returning the typed *TransportError instead of
+// raising it. All bookkeeping (deadline counters, flight dumps) is
+// identical to RecvC.
+func (p *Proc) RecvCChecked(from, tag int) ([]complex128, error) {
 	if from < 0 || from >= p.size || from == p.rank {
 		panic(fmt.Sprintf("mpinet: recv from invalid rank %d", from))
 	}
@@ -415,13 +455,13 @@ func (p *Proc) RecvC(from, tag int) []complex128 {
 				p.flightFault(err)
 			}
 		}
-		panic(&TransportError{Rank: from, Op: "recv", Err: err})
+		return nil, &TransportError{Rank: from, Op: "recv", Err: err}
 	}
 	if pkt.tag != tag {
-		panic(&TransportError{Rank: from, Op: "recv",
-			Err: fmt.Errorf("tag mismatch: want %d got %d", tag, pkt.tag)})
+		return nil, &TransportError{Rank: from, Op: "recv",
+			Err: fmt.Errorf("tag mismatch: want %d got %d", tag, pkt.tag)}
 	}
-	return pkt.data
+	return pkt.data, nil
 }
 
 // Alltoall is the equal-counts personalized exchange (see mpi.Alltoall).
@@ -561,6 +601,7 @@ type peer struct {
 	box  *netMailbox
 	pr   *Proc // back-reference for the I/O deadline and wire counters
 
+	outOnce   sync.Once // closes out exactly once (close and shutdown share it)
 	closeOnce sync.Once
 	drained   chan struct{} // closed when writeLoop has exited
 
@@ -774,7 +815,7 @@ func (pe *peer) readLoop() {
 // never wedge Close itself.
 func (pe *peer) close() {
 	pe.closeOnce.Do(func() {
-		close(pe.out)
+		pe.outOnce.Do(func() { close(pe.out) })
 		if d := pe.timeout(); d > 0 {
 			t := time.NewTimer(2 * d)
 			select {
@@ -789,6 +830,29 @@ func (pe *peer) close() {
 			_ = pe.conn.Close()
 		}
 	})
+}
+
+// shutdown flushes the send queue and half-closes the write direction:
+// the peer sees FIN strictly after every queued frame, and this side
+// keeps reading. Falls back to a full close on transports without
+// CloseWrite. The drain wait is bounded like close()'s.
+func (pe *peer) shutdown() {
+	pe.outOnce.Do(func() { close(pe.out) })
+	if d := pe.timeout(); d > 0 {
+		t := time.NewTimer(2 * d)
+		select {
+		case <-pe.drained:
+			t.Stop()
+		case <-t.C:
+		}
+	} else {
+		<-pe.drained
+	}
+	if cw, ok := pe.conn.(interface{ CloseWrite() error }); ok {
+		_ = cw.CloseWrite()
+	} else {
+		_ = pe.conn.Close()
+	}
 }
 
 // netMailbox is an unbounded FIFO of received packets with a typed death
