@@ -310,7 +310,7 @@ func BenchmarkDistributedSOI(b *testing.B) {
 			b.Fatal(err)
 		}
 		err = w.Run(func(c *mpi.Comm) error {
-			_, err := pl.RunDistributed(c,
+			_, err := pl.RunDistributed(context.Background(), c,
 				dst[c.Rank()*nLocal:(c.Rank()+1)*nLocal],
 				src[c.Rank()*nLocal:(c.Rank()+1)*nLocal])
 			return err

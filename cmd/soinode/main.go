@@ -71,6 +71,8 @@ func main() {
 		"per-operation I/O deadline on peer links; a peer that stalls longer is declared dead with a typed error (0 = wait forever)")
 	coded := flag.Int("coded", -1,
 		"erasure parity shares m for the coded exchange: survive ranks dying mid-transform at a wire cost of (R-1+m)/(R-1) (0 = detection only, -1 = plain exchange)")
+	asyncWindow := flag.Int("async-window", 0,
+		"stream the all-to-all in chunks with this many in flight per link, overlapping wire time with convolution (0 = blocking exchange); composes with -coded")
 	faultPlan := flag.String("fault-plan", "",
 		"faultnet chaos plan injected into this rank's links, e.g. seed=42,corrupt=0.001,latency=1ms (see internal/faultnet)")
 	report := flag.Bool("report", false,
@@ -175,19 +177,19 @@ func main() {
 	var dt core.DistributedTimes
 	var deg *core.DegradedError
 	localIn := src[*rank*nLocal : (*rank+1)*nLocal]
+	opts := []core.DistOption{core.WithAsyncWindow(*asyncWindow)}
 	if *coded >= 0 {
-		dt, err = plan.RunDistributedCodedContext(ctx, proc, *coded, out, localIn)
-		if errors.As(err, &deg) {
-			// The spectrum is complete and bit-exact; the error is
-			// informational. Degraded completion is a success exit.
-			log.Warn("transform completed degraded: dead rank(s) reconstructed from parity",
-				"reconstructed", fmt.Sprint(deg.ReconstructedRanks),
-				"coordinator", deg.Coordinator,
-				"parity_bytes", deg.ParityBytes, "recovery_bytes", deg.RecoveryBytes)
-			err = nil
-		}
-	} else {
-		dt, err = plan.RunDistributedContext(ctx, proc, out, localIn)
+		opts = append(opts, core.WithCoding(*coded))
+	}
+	dt, err = plan.RunDistributed(ctx, proc, out, localIn, opts...)
+	if *coded >= 0 && errors.As(err, &deg) {
+		// The spectrum is complete and bit-exact; the error is
+		// informational. Degraded completion is a success exit.
+		log.Warn("transform completed degraded: dead rank(s) reconstructed from parity",
+			"reconstructed", fmt.Sprint(deg.ReconstructedRanks),
+			"coordinator", deg.Coordinator,
+			"parity_bytes", deg.ParityBytes, "recovery_bytes", deg.RecoveryBytes)
+		err = nil
 	}
 	if err != nil {
 		fail(log, err)
@@ -256,6 +258,12 @@ func main() {
 		}
 		fmt.Printf("rank %d: exchange volume %d B (analytic per-rank %d B); vs triple-all-to-all %d B: ratio %.3f, paper predicts 3/(1+beta) = %.3f\n",
 			*rank, snap.Comm.AlltoallBytes, perRank, baseline, ratio, model.AsymptoticSpeedup())
+		if *asyncWindow > 0 {
+			exWall := snap.Stages[instrument.StageExchange].Wall
+			fmt.Printf("rank %d: async exchange: %d chunks streamed, window %d, un-hidden %s, hidden behind compute %s, overlap %.2f\n",
+				*rank, snap.Comm.StreamChunks, *asyncWindow, exWall,
+				snap.Comm.HiddenExchange, snap.Comm.OverlapRatio(exWall))
+		}
 		if *coded >= 0 {
 			fmt.Printf("rank %d: coded: parity %d B, recovery %d B, %d reconstructions, %d degraded transforms\n",
 				*rank, snap.Comm.ParityBytes, snap.Comm.RecoveryBytes,

@@ -61,7 +61,7 @@ func (p *Plan) TransformDistributedContext(ctx context.Context, w *World, dst, s
 	return w.inner.Run(func(c *mpi.Comm) error {
 		in := src[c.Rank()*nLocal : (c.Rank()+1)*nLocal]
 		out := dst[c.Rank()*nLocal : (c.Rank()+1)*nLocal]
-		_, err := p.inner.RunDistributedContext(ctx, c, out, in)
+		_, err := p.inner.RunDistributed(ctx, c, out, in)
 		return err
 	})
 }
@@ -81,7 +81,7 @@ func (p *Plan) InverseDistributedContext(ctx context.Context, w *World, dst, src
 	return w.inner.Run(func(c *mpi.Comm) error {
 		in := src[c.Rank()*nLocal : (c.Rank()+1)*nLocal]
 		out := dst[c.Rank()*nLocal : (c.Rank()+1)*nLocal]
-		_, err := p.inner.RunDistributedInverseContext(ctx, c, out, in)
+		_, err := p.inner.RunDistributedInverse(ctx, c, out, in)
 		return err
 	})
 }

@@ -36,6 +36,13 @@ type BenchRun struct {
 	Stages        []BenchStage `json:"stages"`
 	CommBytes     int64        `json:"comm_bytes"`
 	AlltoallBytes int64        `json:"alltoall_bytes"`
+
+	// AsyncWindow and OverlapRatio come from one extra instrumented run
+	// with the streamed exchange: the window used, and the fraction of
+	// total exchange time hidden behind compute (0 when nothing was
+	// hidden). Additive fields; the regression gate ignores them.
+	AsyncWindow  int     `json:"async_window,omitempty"`
+	OverlapRatio float64 `json:"overlap_ratio"`
 }
 
 // BenchReport is the machine-readable benchmark summary soibench
@@ -85,15 +92,15 @@ func measureRun(n, ranks, segments, taps int) (BenchRun, error) {
 	src := signal.Random(n, int64(n))
 	dst := make([]complex128, n)
 	nLocal := n / ranks
-	oneRun := func() error {
+	oneRun := func(opts ...core.DistOption) error {
 		w, err := mpi.NewWorld(ranks)
 		if err != nil {
 			return err
 		}
 		return w.Run(func(c *mpi.Comm) error {
-			_, err := pl.RunDistributed(c,
+			_, err := pl.RunDistributed(context.Background(), c,
 				dst[c.Rank()*nLocal:(c.Rank()+1)*nLocal],
-				src[c.Rank()*nLocal:(c.Rank()+1)*nLocal])
+				src[c.Rank()*nLocal:(c.Rank()+1)*nLocal], opts...)
 			return err
 		})
 	}
@@ -136,6 +143,18 @@ func measureRun(n, ranks, segments, taps int) (BenchRun, error) {
 	}
 	run.CommBytes = snap.Comm.Bytes
 	run.AlltoallBytes = snap.Comm.AlltoallBytes
+	// One streamed-exchange run on its own recorder: the overlap ratio
+	// (hidden wire time over total exchange time) lands in the artifact
+	// next to the blocking breakdown, so CI tracks how much of the
+	// exchange the async pipeline hides at each size.
+	const asyncWindow = 2
+	asyncRec := instrument.New(instrument.LevelTimers)
+	if err := oneRun(core.WithAsyncWindow(asyncWindow), core.WithRecorder(asyncRec)); err != nil {
+		return run, err
+	}
+	asnap := asyncRec.Snapshot()
+	run.AsyncWindow = asyncWindow
+	run.OverlapRatio = asnap.Comm.OverlapRatio(asnap.Stages[instrument.StageExchange].Wall)
 	return run, nil
 }
 
@@ -169,7 +188,7 @@ func TracedRun(w io.Writer, n, ranks, segments, taps int) error {
 		return err
 	}
 	err = world.Run(func(c *mpi.Comm) error {
-		_, err := pl.RunDistributedContext(ctx, c,
+		_, err := pl.RunDistributed(ctx, c,
 			dst[c.Rank()*nLocal:(c.Rank()+1)*nLocal],
 			src[c.Rank()*nLocal:(c.Rank()+1)*nLocal])
 		return err

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -46,7 +47,7 @@ func RunSOIMeasured(n, ranks, segments, b int, seed int64) (MeasuredRun, error) 
 	nLocal := n / ranks
 	t0 := time.Now()
 	err = w.Run(func(c *mpi.Comm) error {
-		_, err := pl.RunDistributed(c,
+		_, err := pl.RunDistributed(context.Background(), c,
 			got[c.Rank()*nLocal:(c.Rank()+1)*nLocal],
 			src[c.Rank()*nLocal:(c.Rank()+1)*nLocal])
 		return err

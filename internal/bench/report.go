@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -37,7 +38,7 @@ func ObservabilityReport(n, ranks, segments, b int) (*Table, error) {
 	}
 	nLocal := n / ranks
 	err = w.Run(func(c *mpi.Comm) error {
-		_, err := pl.RunDistributed(c,
+		_, err := pl.RunDistributed(context.Background(), c,
 			got[c.Rank()*nLocal:(c.Rank()+1)*nLocal],
 			src[c.Rank()*nLocal:(c.Rank()+1)*nLocal])
 		return err

@@ -17,6 +17,7 @@
 package conv
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/cmplx"
@@ -29,16 +30,17 @@ import (
 
 // SOI performs localOut = IDFT(DFT(x)·filterSpec) with two SOI passes.
 // filterSpecLocal is this rank's natural-order block of the filter's
-// spectrum (length N/R), typically computed once and cached.
-func SOI(c *mpi.Comm, pl *core.Plan, localOut, localX, filterSpecLocal []complex128) error {
+// spectrum (length N/R), typically computed once and cached. Options
+// (e.g. core.WithAsyncWindow) apply to both passes.
+func SOI(c *mpi.Comm, pl *core.Plan, localOut, localX, filterSpecLocal []complex128, opts ...core.DistOption) error {
 	spec := make([]complex128, len(localX))
-	if _, err := pl.RunDistributed(c, spec, localX); err != nil {
+	if _, err := pl.RunDistributed(context.Background(), c, spec, localX, opts...); err != nil {
 		return err
 	}
 	for i := range spec {
 		spec[i] *= filterSpecLocal[i]
 	}
-	_, err := pl.RunDistributedInverse(c, localOut, spec)
+	_, err := pl.RunDistributedInverse(context.Background(), c, localOut, spec, opts...)
 	return err
 }
 

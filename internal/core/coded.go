@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"soifft/internal/erasure"
+	"soifft/internal/exch"
 	"soifft/internal/instrument"
 )
 
@@ -130,41 +131,68 @@ func ValidateCoded(r, m int) error {
 // after the data fan-out; it therefore handles ranks that crash up to
 // that point. Deaths during the recovery itself surface as typed
 // transport errors (clean failure, never a wrong answer).
+//
+// Deprecated: call RunDistributed with WithCoding(m), which is this
+// path (and composes with WithAsyncWindow).
 func (pl *Plan) RunDistributedCoded(c CodedComm, m int, localOut, localIn []complex128) (DistributedTimes, error) {
-	return pl.RunDistributedCodedContext(context.Background(), c, m, localOut, localIn)
+	return pl.RunDistributed(context.Background(), c, localOut, localIn, WithCoding(m))
 }
 
 // RunDistributedCodedContext is RunDistributedCoded with cancellation
-// checks at phase boundaries (see RunDistributedContext).
-func (pl *Plan) RunDistributedCodedContext(ctx context.Context, c CodedComm, m int, localOut, localIn []complex128) (dt DistributedTimes, err error) {
+// checks at phase boundaries.
+//
+// Deprecated: call RunDistributed with WithCoding(m).
+func (pl *Plan) RunDistributedCodedContext(ctx context.Context, c CodedComm, m int, localOut, localIn []complex128) (DistributedTimes, error) {
+	return pl.RunDistributed(ctx, c, localOut, localIn, WithCoding(m))
+}
+
+// runCoded is the erasure-protected distributed transform behind
+// RunDistributed(..., WithCoding(m)): phases 1–2, the coded exchange
+// (blocking fan-out, or streamed tile fan-out when an async window is
+// configured and the transport supports it), detection/recovery, then
+// phase 4 with output takeover on the coordinator.
+func (pl *Plan) runCoded(ctx context.Context, c Comm, cfg distOptions, localOut, localIn []complex128) (dt DistributedTimes, err error) {
 	defer RecoverFault(&err)
-	if err := ValidateCoded(c.Size(), m); err != nil {
+	cc, ok := c.(CodedComm)
+	if !ok {
+		return dt, fmt.Errorf("core: WithCoding needs checked peer messaging, which %T lacks: %w", c, ErrPlanMismatch)
+	}
+	m := cfg.parity
+	if err := ValidateCoded(cc.Size(), m); err != nil {
 		return dt, err
 	}
-	rec := pl.rec
-	e, err := pl.newDistExec(ctx, instrumentComm(c, rec), localOut, localIn)
+	rec := cfg.rec
+	e, err := pl.newDistExec(ctx, cfg, instrumentComm(c, rec), localOut, localIn)
 	if err != nil {
 		return dt, err
-	}
-	send, err := e.phase12(ctx, localIn)
-	if err != nil {
-		return e.dt, err
 	}
 
-	cx := &codedExchange{e: e, c: c, m: m, send: send}
-	t0 := time.Now()
-	e.tr.Begin(e.tid, e.rank, instrument.StageExchange.String())
-	deg, err := cx.run()
-	e.dt.Exchange = time.Since(t0)
-	e.tr.End(e.tid, e.rank, instrument.StageExchange.String())
-	if err != nil {
-		return e.dt, err
+	cx := &codedExchange{e: e, c: cc, m: m}
+	var deg *DegradedError
+	if _, streams := c.(StreamComm); streams && cfg.window > 0 {
+		deg, err = cx.runStreamed(ctx, localIn)
+		if err != nil {
+			return e.dt, err
+		}
+	} else {
+		cx.send, err = e.phase12(ctx, localIn)
+		if err != nil {
+			return e.dt, err
+		}
+		t0 := time.Now()
+		e.tr.Begin(e.tid, e.rank, instrument.StageExchange.String())
+		deg, err = cx.run()
+		e.dt.Exchange = time.Since(t0)
+		e.tr.End(e.tid, e.rank, instrument.StageExchange.String())
+		if err != nil {
+			return e.dt, err
+		}
 	}
 	if err := ctx.Err(); err != nil {
 		return e.dt, err
 	}
 
-	t0 = time.Now()
+	t0 := time.Now()
 	e.tr.Begin(e.tid, e.rank, instrument.StageSegmentFFT.String())
 	e.phase4(cx.columnChunk, localOut)
 	if deg != nil && e.rank == deg.Coordinator {
@@ -225,50 +253,81 @@ func (cx *codedExchange) column(d, src int) []complex128 {
 
 func (cx *codedExchange) markDead(rank int) { cx.dead[rank] = true }
 
-// run executes the coded exchange: encode, fan out, detect, and (when
-// needed and possible) recover. On success every survivor's own column
-// is complete; a non-nil *DegradedError reports reconstructions.
-func (cx *codedExchange) run() (*DegradedError, error) {
-	e, c, m := cx.e, cx.c, cx.m
-	r, rank, chunk := e.r, e.rank, e.chunk
-	rec := e.pl.rec
-	if !rec.On() { // match the uncoded path: count only when observing
-		rec = nil
-	}
+// setup initializes the per-rank exchange state shared by the blocking
+// and streamed fan-outs (cx.send must already be packed or, for the
+// streamed path, be the persistent buffer the producer packs).
+func (cx *codedExchange) setup() {
+	r := cx.e.r
 	cx.recv = make([][]complex128, r)
-	cx.recv[rank] = cx.send[rank*chunk : (rank+1)*chunk]
 	cx.parityIn = make(map[int][]complex128)
 	cx.dead = make([]bool, r)
 	cx.masks = make([]uint64, r)
+}
 
-	// Encode this rank's codeword: the R outgoing chunks — the unsent
-	// self-chunk included, so the exchange's redundancy also covers this
-	// rank's contribution to its own column — plus m parity shares.
-	// Coding is on the Float64bits byte image, so any k-of-n subset
-	// decodes to bit-identical chunks.
-	var parityOut [][]complex128
-	var code *erasure.Code
-	if m > 0 {
-		var err error
-		code, err = erasure.New(r, m)
-		if err != nil {
-			return nil, err
+// encodeParity encodes this rank's codeword: the R outgoing chunks — the
+// unsent self-chunk included, so the exchange's redundancy also covers
+// this rank's contribution to its own column — plus m parity shares.
+// Coding is on the Float64bits byte image, so any k-of-n subset decodes
+// to bit-identical chunks.
+func (cx *codedExchange) encodeParity() (*erasure.Code, [][]complex128, error) {
+	r, chunk, m := cx.e.r, cx.e.chunk, cx.m
+	if m == 0 {
+		return nil, nil, nil
+	}
+	code, err := erasure.New(r, m)
+	if err != nil {
+		return nil, nil, err
+	}
+	data := make([][]byte, r)
+	for j := 0; j < r; j++ {
+		data[j] = erasure.ComplexToBytes(nil, cx.send[j*chunk:(j+1)*chunk])
+	}
+	parity := make([][]byte, m)
+	for i := range parity {
+		parity[i] = make([]byte, chunk*16)
+	}
+	if err := code.Encode(data, parity); err != nil {
+		return nil, nil, err
+	}
+	parityOut := make([][]complex128, m)
+	for i := range parity {
+		parityOut[i], _ = erasure.BytesToComplex(nil, parity[i])
+	}
+	return code, parityOut, nil
+}
+
+// sendParity ships parity share i to rank+1+i (the blocking and streamed
+// fan-outs share it; on the streamed path the per-link FIFO places these
+// frames after every data tile, so receivers drain the stream first).
+func (cx *codedExchange) sendParity(parityOut [][]complex128, rec *instrument.Recorder) {
+	e, c := cx.e, cx.c
+	for i := 0; i < cx.m; i++ {
+		s := (e.rank + 1 + i) % e.r
+		if err := c.SendChecked(s, tagCodedParity-i, parityOut[i]); err != nil {
+			cx.markDead(s)
+			continue
 		}
-		data := make([][]byte, r)
-		for j := 0; j < r; j++ {
-			data[j] = erasure.ComplexToBytes(nil, cx.send[j*chunk:(j+1)*chunk])
-		}
-		parity := make([][]byte, m)
-		for i := range parity {
-			parity[i] = make([]byte, chunk*16)
-		}
-		if err := code.Encode(data, parity); err != nil {
-			return nil, err
-		}
-		parityOut = make([][]complex128, m)
-		for i := range parity {
-			parityOut[i], _ = erasure.BytesToComplex(nil, parity[i])
-		}
+		cx.parityBytes += int64(e.chunk) * 16
+	}
+	rec.CountParityBytes(cx.parityBytes)
+}
+
+// run executes the blocking coded exchange: encode, fan out, detect, and
+// (when needed and possible) recover. On success every survivor's own
+// column is complete; a non-nil *DegradedError reports reconstructions.
+func (cx *codedExchange) run() (*DegradedError, error) {
+	e, c, m := cx.e, cx.c, cx.m
+	r, rank, chunk := e.r, e.rank, e.chunk
+	rec := e.rec
+	if !rec.On() { // match the uncoded path: count only when observing
+		rec = nil
+	}
+	cx.setup()
+	cx.recv[rank] = cx.send[rank*chunk : (rank+1)*chunk]
+
+	code, parityOut, err := cx.encodeParity()
+	if err != nil {
+		return nil, err
 	}
 
 	// Fan out: data chunk to every peer, parity share i to rank+1+i. A
@@ -283,15 +342,7 @@ func (cx *codedExchange) run() (*DegradedError, error) {
 			cx.markDead(s)
 		}
 	}
-	for i := 0; i < m; i++ {
-		s := (rank + 1 + i) % r
-		if err := c.SendChecked(s, tagCodedParity-i, parityOut[i]); err != nil {
-			cx.markDead(s)
-			continue
-		}
-		cx.parityBytes += int64(chunk) * 16
-	}
-	rec.CountParityBytes(cx.parityBytes)
+	cx.sendParity(parityOut, rec)
 
 	if fp := CodedExchangeFailpoint; fp != nil {
 		if err := fp(rank); err != nil {
@@ -332,6 +383,16 @@ func (cx *codedExchange) run() (*DegradedError, error) {
 			cx.parityIn[src] = pdata
 		}
 	}
+
+	return cx.detect(code, rec)
+}
+
+// detect runs the view and agreement rounds over the received state and,
+// when losses are within budget, the recovery — the shared tail of the
+// blocking and streamed fan-outs.
+func (cx *codedExchange) detect(code *erasure.Code, rec *instrument.Recorder) (*DegradedError, error) {
+	e, m := cx.e, cx.m
+	r, rank := e.r, e.rank
 
 	// View round: exchange receipt masks. A peer unreachable here is
 	// dead. Masks travel as exact float64 integers (≤ 52 bits, enforced
@@ -408,6 +469,150 @@ func (cx *codedExchange) run() (*DegradedError, error) {
 	return deg, nil
 }
 
+// runStreamed executes the coded exchange over the streamed tile
+// fan-out: data tiles travel through the windowed chunk stream
+// (overlapped with convolution exactly as in the uncoded streamed path),
+// parity is encoded over the completed packed buffer after the produce
+// loop and ships on the usual parity tags — per-link FIFO places those
+// frames after every data tile, so a receiver drains the stream fully
+// and then finds the parity heading its mailboxes, the same per-link
+// order as the blocking fan-out. Detection and recovery are the shared
+// tail, so outcomes (clean, degraded bit-exact, typed loss) are
+// identical to the blocking coded exchange.
+func (cx *codedExchange) runStreamed(ctx context.Context, localIn []complex128) (*DegradedError, error) {
+	e, c, m := cx.e, cx.c, cx.m
+	r, rank, chunk := e.r, e.rank, e.chunk
+	rec := e.rec
+	if !rec.On() {
+		rec = nil
+	}
+	cx.setup()
+
+	bounds := e.tileBounds()
+	sizes := make([]int, len(bounds)-1)
+	for k := range sizes {
+		sizes[k] = (bounds[k+1] - bounds[k]) * e.spr
+	}
+	st := e.c.(StreamComm).StartAlltoallv(exch.Options{Sizes: sizes, Window: e.window})
+	defer st.Close()
+	streamStart := time.Now()
+
+	// Remote sources scatter into pre-allocated chunk buffers (tile k at
+	// [bounds[k]·spr, bounds[k+1]·spr)); the self-chunk aliases the packed
+	// send buffer once the producer finishes.
+	for src := 0; src < r; src++ {
+		if src != rank {
+			cx.recv[src] = make([]complex128, chunk)
+		}
+	}
+	got := make([]int, r)
+	consDone := make(chan error, 1)
+	go func() { consDone <- cx.drainStream(st, bounds, got) }()
+
+	send, sendWait, perr := e.produceStream(ctx, st, bounds, localIn, func(dst int, err error) error {
+		cx.markDead(dst) // route around the dead peer; detection settles it
+		return nil
+	})
+	cx.send = send
+	tExch := time.Now()
+	e.tr.Begin(e.tid, rank, instrument.StageExchange.String())
+	defer func() {
+		e.dt.Exchange = sendWait + time.Since(tExch)
+		e.tr.End(e.tid, rank, instrument.StageExchange.String())
+		if e.timed {
+			if hidden := time.Since(streamStart) - e.dt.Exchange; hidden > 0 {
+				e.rec.AddHiddenExchange(hidden)
+			}
+		}
+	}()
+	if perr != nil {
+		return nil, perr // context cancellation; peers fail on their own deadlines
+	}
+	cx.recv[rank] = send[rank*chunk : (rank+1)*chunk]
+
+	code, parityOut, err := cx.encodeParity()
+	if err != nil {
+		return nil, err
+	}
+	cx.sendParity(parityOut, rec)
+
+	if fp := CodedExchangeFailpoint; fp != nil {
+		if err := fp(rank); err != nil {
+			return nil, err
+		}
+	}
+
+	// Drain fully before any parity receive: the stream's per-source
+	// receiver goroutines pop tile frames from the same per-link mailboxes
+	// the checked receives use, so the parity frames are safe to receive
+	// only once every receiver has delivered its last event.
+	if err := <-consDone; err != nil {
+		return nil, err
+	}
+
+	// A source whose stream ended early lost tiles: dead (its receiver may
+	// have left tile frames queued, so its parity is unreachable — skip
+	// it). Completed sources behave exactly as in the blocking receive
+	// loop, a gracefully dying peer's flushed tiles and parity included.
+	for off := 1; off < r; off++ {
+		src := (rank + off) % r
+		if got[src] < len(sizes) {
+			cx.recv[src] = nil
+			cx.markDead(src)
+			continue
+		}
+		if i := (rank - src - 1 + 2*r) % r; i < m {
+			pdata, err := c.RecvCChecked(src, tagCodedParity-i)
+			if err != nil {
+				cx.markDead(src)
+				continue
+			}
+			if len(pdata) != chunk {
+				return nil, &UnrecoverableLossError{Parity: m,
+					Cause: fmt.Errorf("malformed parity share from rank %d: %d elements, want %d", src, len(pdata), chunk)}
+			}
+			cx.parityIn[src] = pdata
+		}
+	}
+
+	return cx.detect(code, rec)
+}
+
+// drainStream scatters arriving data tiles into the per-source receive
+// buffers while later tiles are still on the wire. Per-source stream
+// failures are not fatal here — the caller infers them from the tile
+// counts after the drain (and the view round settles the dead set); only
+// a malformed frame aborts.
+func (cx *codedExchange) drainStream(st exch.Stream, bounds []int, got []int) error {
+	e := cx.e
+	var firstErr error
+	for {
+		ch, ok := st.Next()
+		if !ok {
+			return firstErr
+		}
+		if ch.Err != nil {
+			continue
+		}
+		lo, hi := bounds[ch.Index], bounds[ch.Index+1]
+		if len(ch.Data) != (hi-lo)*e.spr {
+			if firstErr == nil {
+				firstErr = &UnrecoverableLossError{Parity: cx.m,
+					Cause: fmt.Errorf("malformed coded stream chunk %d from rank %d: %d elements, want %d",
+						ch.Index, ch.Src, len(ch.Data), (hi-lo)*e.spr)}
+			}
+			continue
+		}
+		if ch.Src == e.rank {
+			got[e.rank]++
+			continue // the self-chunk aliases the packed send buffer
+		}
+		e.tr.ChunkInstant(e.tid, e.rank, "exchange_chunk_recv", ch.Index)
+		copy(cx.recv[ch.Src][lo*e.spr:hi*e.spr], ch.Data)
+		got[ch.Src]++
+	}
+}
+
 // exchangeMasks runs one all-pairs round of single-value control frames,
 // filling out[src] for every live peer and marking unreachable peers
 // dead.
@@ -446,7 +651,7 @@ func (cx *codedExchange) exchangeMasks(tag int, mine uint64, out []uint64) {
 func (cx *codedExchange) recover(code *erasure.Code, deadList []int) (*DegradedError, error) {
 	e, c, m := cx.e, cx.c, cx.m
 	r, rank, chunk := e.r, e.rank, e.chunk
-	rec := e.pl.rec
+	rec := e.rec
 	if !rec.On() {
 		rec = nil
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"testing"
@@ -34,7 +35,7 @@ func runSOICoded(t *testing.T, pl *Plan, src []complex128, r, m int,
 			cc = wrap(c)
 		}
 		out := make([]complex128, nLocal)
-		_, err := pl.RunDistributedCoded(cc, m, out, src[rank*nLocal:(rank+1)*nLocal])
+		_, err := pl.RunDistributed(context.Background(), cc, out, src[rank*nLocal:(rank+1)*nLocal], WithCoding(m))
 		outs[rank], errs[rank] = out, err
 		return nil // judge per-rank errors in the caller, not via world abort
 	}); err != nil {
@@ -366,7 +367,7 @@ func TestGatherDegradedRoutesAroundDeadRoot(t *testing.T) {
 			rank := c.Rank()
 			cc := &postFlushDeath{Comm: c, victims: vset}
 			out := make([]complex128, nLocal)
-			_, err := pl.RunDistributedCoded(cc, m, out, src[rank*nLocal:(rank+1)*nLocal])
+			_, err := pl.RunDistributed(context.Background(), cc, out, src[rank*nLocal:(rank+1)*nLocal], WithCoding(m))
 			if rank == tc.victim {
 				return nil // dead rank does not join the gather
 			}

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"soifft/internal/exch"
 	"soifft/internal/instrument"
 	"soifft/internal/trace"
 )
@@ -102,13 +103,23 @@ func (pl *Plan) ValidateDistributed(r int) error {
 	return nil
 }
 
-// countingComm wraps a Comm and mirrors its traffic into a Recorder:
-// point-to-point payload bytes at the sender, all-to-all volume as this
-// rank's inter-rank contribution (self-copies excluded, matching what a
-// fabric would carry — summed over per-rank recorders, or accumulated in
-// one shared recorder, the total is 16·(1+β)·N·(R−1)/R bytes per SOI
-// transform). The collective op itself is counted once per world, on
-// rank 0, mirroring the mpi.World statistics convention.
+// countingComm wraps a Comm once — whatever its optional capabilities —
+// and mirrors its traffic into a Recorder: point-to-point payload bytes
+// at the sender, all-to-all volume as this rank's inter-rank
+// contribution (self-copies excluded, matching what a fabric would
+// carry — summed over per-rank recorders, or accumulated in one shared
+// recorder, the total is 16·(1+β)·N·(R−1)/R bytes per SOI transform,
+// identical for the blocking, pairwise, and streamed exchanges). The
+// collective op itself is counted once per world, on rank 0, mirroring
+// the mpi.World statistics convention.
+//
+// The optional capabilities forward by asserting the inner Comm, so the
+// wrapper exposes the full unified surface; callers must discover a
+// capability on the unwrapped Comm before using it through the wrapper.
+// Checked point-to-point traffic is deliberately NOT counted here: the
+// only checked caller is the coded exchange, which classifies its own
+// protocol traffic (parity vs recovery bytes) more precisely than a
+// generic wrapper could.
 type countingComm struct {
 	Comm
 	rec *instrument.Recorder
@@ -157,6 +168,40 @@ func (cc *countingComm) Gather(root int, chunk []complex128) []complex128 {
 	return cc.Comm.Gather(root, chunk)
 }
 
+func (cc *countingComm) SendChecked(to, tag int, data any) error {
+	return cc.Comm.(CheckedComm).SendChecked(to, tag, data)
+}
+
+func (cc *countingComm) RecvCChecked(from, tag int) ([]complex128, error) {
+	return cc.Comm.(CheckedComm).RecvCChecked(from, tag)
+}
+
+// StartAlltoallv forwards the streaming capability and counts the
+// chunked frames against the same analytic budget as the blocking
+// exchange: the op once on rank 0, and every non-self chunk's payload at
+// the sender. Summed over a stream, the chunks partition exactly the
+// blocking exchange's (R−1)·chunk elements, so the live 3/(1+β) ratio
+// check holds unchanged regardless of window size.
+func (cc *countingComm) StartAlltoallv(o exch.Options) exch.Stream {
+	if cc.Comm.Rank() == 0 {
+		cc.rec.CountAlltoallOp()
+	}
+	return &countedStream{Stream: cc.Comm.(StreamComm).StartAlltoallv(o), cc: cc}
+}
+
+type countedStream struct {
+	exch.Stream
+	cc *countingComm
+}
+
+func (s *countedStream) Send(dst, idx int, data []complex128) error {
+	if dst != s.cc.Comm.Rank() {
+		s.cc.rec.CountAlltoallBytes(int64(len(data)) * 16)
+		s.cc.rec.CountStreamChunk()
+	}
+	return s.Stream.Send(dst, idx, data)
+}
+
 // payloadBytes sizes the wire payload of a Send argument.
 func payloadBytes(data any) int64 {
 	switch d := data.(type) {
@@ -177,20 +222,53 @@ func payloadBytes(data any) int64 {
 // neighbour halo of (B−1)·P points plus a single all-to-all of
 // (1+β)·N/R points — versus three all-to-alls of N/R points for the
 // standard algorithms in internal/baseline.
-func (pl *Plan) RunDistributed(c Comm, localOut, localIn []complex128) (DistributedTimes, error) {
-	return pl.RunDistributedContext(context.Background(), c, localOut, localIn)
+//
+// Options select the exchange machinery without changing the spectrum
+// (all variants are bit-identical on a clean run):
+//   - WithAsyncWindow(w) streams the all-to-all in chunks, w in flight
+//     per link, overlapped with convolution — wire time hides behind
+//     compute, and the Exchange stage time reports only the un-hidden
+//     remainder;
+//   - WithCoding(m) erasure-protects the exchange so the transform
+//     survives up to m rank deaths (requires the CheckedComm
+//     capability); coding composes with WithAsyncWindow;
+//   - WithRecorder(rec) observes the run with a specific recorder.
+//
+// A cancelled context stops this rank before its next local phase; it
+// does not interrupt a collective already in flight (the transport's
+// I/O deadline bounds those), and ranks that stop early leave peers to
+// fail with their own deadline faults.
+func (pl *Plan) RunDistributed(ctx context.Context, c Comm, localOut, localIn []complex128, opts ...DistOption) (DistributedTimes, error) {
+	cfg := pl.resolveDistOptions(opts)
+	if cfg.coded {
+		return pl.runCoded(ctx, c, cfg, localOut, localIn)
+	}
+	return pl.runFlat(ctx, c, cfg, localOut, localIn)
 }
 
-// RunDistributedContext is RunDistributed with cancellation checks at
-// phase boundaries. A cancelled context stops this rank before its next
-// local phase; it does not interrupt a collective already in flight (the
-// transport's I/O deadline bounds those), and ranks that stop early
-// leave peers to fail with their own deadline faults.
-func (pl *Plan) RunDistributedContext(ctx context.Context, c Comm, localOut, localIn []complex128) (dt DistributedTimes, err error) {
+// RunDistributedContext is the pre-option spelling of RunDistributed.
+//
+// Deprecated: call RunDistributed, which now takes the context and
+// options directly.
+func (pl *Plan) RunDistributedContext(ctx context.Context, c Comm, localOut, localIn []complex128) (DistributedTimes, error) {
+	return pl.RunDistributed(ctx, c, localOut, localIn)
+}
+
+// runFlat is the uncoded distributed transform: phases 1–2, the single
+// all-to-all (blocking, or streamed when an async window is configured
+// and the transport supports it), then phase 4.
+func (pl *Plan) runFlat(ctx context.Context, c Comm, cfg distOptions, localOut, localIn []complex128) (dt DistributedTimes, err error) {
 	defer RecoverFault(&err)
-	e, err := pl.newDistExec(ctx, instrumentComm(c, pl.rec), localOut, localIn)
+	e, err := pl.newDistExec(ctx, cfg, instrumentComm(c, cfg.rec), localOut, localIn)
 	if err != nil {
 		return dt, err
+	}
+	if _, ok := c.(StreamComm); ok && cfg.window > 0 {
+		err = e.runStreamed(ctx, localOut, localIn)
+		if err == nil {
+			e.report()
+		}
+		return e.dt, err
 	}
 	send, err := e.phase12(ctx, localIn)
 	if err != nil {
@@ -236,13 +314,15 @@ func (pl *Plan) RunDistributedContext(ctx context.Context, c Comm, localOut, loc
 // phase4.
 type distExec struct {
 	pl                *Plan
-	c                 Comm // collective/halo surface (instrument-wrapped when observing)
+	c                 Comm                 // collective/halo surface (instrument-wrapped when observing)
+	rec               *instrument.Recorder // this run's recorder (plan's unless WithRecorder overrode it)
 	rank, r           int
 	workers           int
 	nLocal            int
 	bpr               int // convolution blocks per rank
 	spr               int // segments per rank
 	chunk             int // elements per destination in the exchange (bpr·spr)
+	window            int // streamed-exchange in-flight window (0 = blocking)
 	tr                *trace.Tracer
 	tid               trace.ID
 	timed             bool
@@ -252,7 +332,7 @@ type distExec struct {
 
 // newDistExec validates plan/world/buffer shapes and assembles the
 // execution state.
-func (pl *Plan) newDistExec(ctx context.Context, c Comm, localOut, localIn []complex128) (*distExec, error) {
+func (pl *Plan) newDistExec(ctx context.Context, cfg distOptions, c Comm, localOut, localIn []complex128) (*distExec, error) {
 	r := c.Size()
 	if err := pl.ValidateDistributed(r); err != nil {
 		return nil, err
@@ -271,9 +351,10 @@ func (pl *Plan) newDistExec(ctx context.Context, c Comm, localOut, localIn []com
 		return nil, err
 	}
 	e := &distExec{
-		pl: pl, c: c, rank: c.Rank(), r: r, workers: workers, nLocal: nLocal,
+		pl: pl, c: c, rec: cfg.rec, rank: c.Rank(), r: r, workers: workers, nLocal: nLocal,
 		bpr: pl.mp / r, spr: p.P / r, chunk: (pl.mp / r) * (p.P / r),
-		timed: pl.rec.Timing(),
+		window: cfg.window,
+		timed:  cfg.rec.Timing(),
 	}
 	e.tr, e.tid = pl.tracerFor(ctx)
 	return e, nil
@@ -408,7 +489,7 @@ func (e *distExec) phase4(chunkOf func(src int) []complex128, out []complex128) 
 // report books the transform's stage observations into the plan's
 // recorder (no-op when instrumentation is off).
 func (e *distExec) report() {
-	rec := e.pl.rec
+	rec := e.rec
 	if !rec.On() {
 		return
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -9,9 +10,10 @@ import (
 	"soifft/internal/signal"
 )
 
-// runSOIDistributed executes the plan over r ranks and returns the
-// gathered output, the direct-DFT reference and the traffic stats.
-func runSOIDistributed(t *testing.T, p Params, r int, seed int64) ([]complex128, []complex128, mpi.Stats) {
+// runSOIDistributed executes the plan over r ranks (with any DistOptions
+// passed through) and returns the gathered output, the direct-DFT
+// reference and the traffic stats.
+func runSOIDistributed(t *testing.T, p Params, r int, seed int64, opts ...DistOption) ([]complex128, []complex128, mpi.Stats) {
 	t.Helper()
 	pl, err := NewPlan(p)
 	if err != nil {
@@ -29,7 +31,7 @@ func runSOIDistributed(t *testing.T, p Params, r int, seed int64) ([]complex128,
 	err = w.Run(func(c *mpi.Comm) error {
 		in := src[c.Rank()*nLocal : (c.Rank()+1)*nLocal]
 		out := got[c.Rank()*nLocal : (c.Rank()+1)*nLocal]
-		_, err := pl.RunDistributed(c, out, in)
+		_, err := pl.RunDistributed(context.Background(), c, out, in, opts...)
 		return err
 	})
 	if err != nil {
@@ -162,7 +164,7 @@ func TestRunDistributedBadLocalLength(t *testing.T) {
 	w, _ := mpi.NewWorld(2)
 	err = w.Run(func(c *mpi.Comm) error {
 		buf := make([]complex128, 10)
-		_, err := pl.RunDistributed(c, buf, buf)
+		_, err := pl.RunDistributed(context.Background(), c, buf, buf)
 		return err
 	})
 	if err == nil {
@@ -181,7 +183,7 @@ func TestDistributedTimesAccounting(t *testing.T) {
 	nLocal := p.N / 4
 	err = w.Run(func(c *mpi.Comm) error {
 		out := make([]complex128, nLocal)
-		dt, err := pl.RunDistributed(c, out, src[c.Rank()*nLocal:(c.Rank()+1)*nLocal])
+		dt, err := pl.RunDistributed(context.Background(), c, out, src[c.Rank()*nLocal:(c.Rank()+1)*nLocal])
 		if err != nil {
 			return err
 		}

@@ -31,22 +31,26 @@ func (pl *Plan) InverseTransformContext(ctx context.Context, dst, src []complex1
 // RunDistributedInverse is the distributed counterpart of
 // InverseTransform: conjugation and scaling are rank-local, so the
 // communication profile is identical to the forward run (one halo
-// exchange plus a single all-to-all).
-func (pl *Plan) RunDistributedInverse(c Comm, localOut, localIn []complex128) (DistributedTimes, error) {
-	return pl.RunDistributedInverseContext(context.Background(), c, localOut, localIn)
-}
-
-// RunDistributedInverseContext is RunDistributedInverse with the forward
-// driver's cancellation checks at phase boundaries.
-func (pl *Plan) RunDistributedInverseContext(ctx context.Context, c Comm, localOut, localIn []complex128) (DistributedTimes, error) {
+// exchange plus a single all-to-all), and the forward driver's options
+// (WithAsyncWindow, WithCoding, WithRecorder) apply unchanged.
+func (pl *Plan) RunDistributedInverse(ctx context.Context, c Comm, localOut, localIn []complex128, opts ...DistOption) (DistributedTimes, error) {
 	tmp := make([]complex128, len(localIn))
 	conjInto(tmp, localIn)
-	dt, err := pl.RunDistributedContext(ctx, c, localOut, tmp)
+	dt, err := pl.RunDistributed(ctx, c, localOut, tmp, opts...)
 	if err != nil {
 		return dt, err
 	}
 	conjScale(localOut, 1/float64(pl.prm.N))
 	return dt, nil
+}
+
+// RunDistributedInverseContext is the pre-option spelling of
+// RunDistributedInverse.
+//
+// Deprecated: call RunDistributedInverse, which now takes the context
+// and options directly.
+func (pl *Plan) RunDistributedInverseContext(ctx context.Context, c Comm, localOut, localIn []complex128) (DistributedTimes, error) {
+	return pl.RunDistributedInverse(ctx, c, localOut, localIn)
 }
 
 func conjInto(dst, src []complex128) {

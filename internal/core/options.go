@@ -1,0 +1,79 @@
+package core
+
+import (
+	"soifft/internal/exch"
+	"soifft/internal/instrument"
+)
+
+// CheckedComm is the optional per-peer checked-messaging capability a
+// Comm may implement (discovered by type assertion, like io.ReaderFrom):
+// point-to-point operations that report a dead peer as an error to route
+// around rather than a rank-fatal panic. Both *mpi.Comm and *mpinet.Proc
+// implement it; WithCoding requires it.
+type CheckedComm interface {
+	SendChecked(to, tag int, data any) error
+	RecvCChecked(from, tag int) ([]complex128, error)
+}
+
+// StreamComm is the optional streaming-collective capability a Comm may
+// implement: a chunked, windowed, asynchronous all-to-all whose chunks
+// the driver fans out while later tiles are still convolving. Both
+// *mpi.Comm and *mpinet.Proc implement it; WithAsyncWindow uses it (and
+// falls back to the blocking exchange when it is absent).
+type StreamComm interface {
+	StartAlltoallv(o exch.Options) exch.Stream
+}
+
+// DistOption configures one distributed transform run (see
+// Plan.RunDistributed).
+type DistOption func(*distOptions)
+
+type distOptions struct {
+	coded  bool
+	parity int
+	window int
+	rec    *instrument.Recorder
+}
+
+// resolveDistOptions folds the options over the plan's defaults.
+func (pl *Plan) resolveDistOptions(opts []DistOption) distOptions {
+	cfg := distOptions{rec: pl.rec}
+	for _, o := range opts {
+		if o != nil {
+			o(&cfg)
+		}
+	}
+	return cfg
+}
+
+// WithCoding runs the exchange erasure-protected with m parity shares
+// per codeword, so the transform survives up to m rank deaths
+// mid-exchange (bit-exact, reported via *DegradedError). Requires a Comm
+// with the CheckedComm capability; m = 0 means detection without
+// repair. See the former RunDistributedCoded for the full protocol
+// contract.
+func WithCoding(m int) DistOption {
+	return func(o *distOptions) { o.coded = true; o.parity = m }
+}
+
+// WithAsyncWindow streams the exchange in chunks with at most w chunks
+// in flight (queued but unflushed) per destination link, overlapping
+// wire time with convolution on the send side and with segment assembly
+// on the receive side. w <= 0 selects the blocking exchange (the
+// default); so does a Comm without the StreamComm capability. Results
+// are bit-identical to the blocking exchange for every window.
+func WithAsyncWindow(w int) DistOption {
+	return func(o *distOptions) {
+		if w < 0 {
+			w = 0
+		}
+		o.window = w
+	}
+}
+
+// WithRecorder observes this run with rec instead of the plan's own
+// recorder (stage timers, comm counters). nil disables observation for
+// the run.
+func WithRecorder(rec *instrument.Recorder) DistOption {
+	return func(o *distOptions) { o.rec = rec }
+}

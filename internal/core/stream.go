@@ -1,0 +1,287 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"soifft/internal/exch"
+	"soifft/internal/instrument"
+)
+
+// This file is the streamed (async pipelined) variant of the distributed
+// driver: instead of convolving every block and then blocking in one
+// monolithic all-to-all, the producer fans phase-1/2 output out
+// tile-by-tile while later tiles are still convolving, and a consumer
+// goroutine scatters chunks into phase-4 layout as they land. Wire time
+// hides behind compute; DistributedTimes.Exchange reports only the
+// un-hidden remainder (send backpressure plus the post-compute drain
+// tail), and the overlapped span is booked via Recorder.AddHiddenExchange.
+//
+// The chunk schedule is derived identically on every rank from the plan
+// and the world size alone: tile k covers convolution blocks
+// [bounds[k], bounds[k+1]), and the chunk for (src→dst, k) is lanes
+// [bounds[k]·spr, bounds[k+1]·spr) of dst's per-source chunk — a
+// contiguous span of the same packed buffer the blocking exchange sends,
+// so the streamed chunks partition the blocking payload exactly (same
+// bytes, same analytic 16·(1+β)·N·(R−1)/R budget) and the spectra are
+// bit-identical for every window.
+
+// tileBounds splits this rank's bpr convolution blocks into T tiles,
+// T = min(bpr, max(4, 2·window)): enough tiles to keep the window busy,
+// never more than one block each. bounds has T+1 entries.
+func (e *distExec) tileBounds() []int {
+	T := 2 * e.window
+	if T < 4 {
+		T = 4
+	}
+	if T > e.bpr {
+		T = e.bpr
+	}
+	bounds := make([]int, T+1)
+	for k := 0; k <= T; k++ {
+		bounds[k] = k * e.bpr / T
+	}
+	return bounds
+}
+
+// runStreamed executes phases 1–4 with the chunked overlapped exchange.
+// The capability was checked by the caller on the unwrapped Comm;
+// e.c may be the counting wrapper, which forwards it.
+func (e *distExec) runStreamed(ctx context.Context, localOut, localIn []complex128) error {
+	bounds := e.tileBounds()
+	sizes := make([]int, len(bounds)-1)
+	for k := range sizes {
+		sizes[k] = (bounds[k+1] - bounds[k]) * e.spr
+	}
+	st := e.c.(StreamComm).StartAlltoallv(exch.Options{Sizes: sizes, Window: e.window})
+	defer st.Close()
+
+	streamStart := time.Now()
+
+	// Phase-4 input in column-major (segment-major) layout: segment ss's
+	// oversampled sequence is the contiguous xcol[ss·mp, (ss+1)·mp), with
+	// source src's block j at offset src·bpr+j — exactly the xt vector the
+	// blocking phase4 gathers, assembled here by the consumer while later
+	// chunks are still on the wire.
+	xcol := make([]complex128, e.spr*e.pl.mp)
+	consErr := make(chan error, 1)
+	go func() { consErr <- e.consumeStream(st, bounds, xcol) }()
+
+	_, sendWait, perr := e.produceStream(ctx, st, bounds, localIn, nil)
+	if perr != nil {
+		// A producer that bailed mid-schedule left self-delivery slots the
+		// consumer would otherwise wait on forever; Close aborts the
+		// tracker so the drain below stays bounded.
+		st.Close()
+	}
+
+	// Drain: whatever the producer's outcome, wait for the consumer — its
+	// receive loops are deadline-bounded, and xcol must not be shared past
+	// this frame. The visible exchange time is the send backpressure plus
+	// this tail; everything else ran behind compute.
+	prodDone := time.Now()
+	e.tr.Begin(e.tid, e.rank, instrument.StageExchange.String())
+	cerr := <-consErr
+	e.tr.End(e.tid, e.rank, instrument.StageExchange.String())
+	e.dt.Exchange = sendWait + time.Since(prodDone)
+	if e.timed {
+		if hidden := time.Since(streamStart) - e.dt.Exchange; hidden > 0 {
+			e.rec.AddHiddenExchange(hidden)
+		}
+	}
+
+	if perr != nil {
+		return perr
+	}
+	if cerr != nil {
+		return cerr
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+
+	t0 := time.Now()
+	e.tr.Begin(e.tid, e.rank, instrument.StageSegmentFFT.String())
+	e.phase4Cols(xcol, localOut)
+	e.dt.SegmentFT = time.Since(t0)
+	e.tr.End(e.tid, e.rank, instrument.StageSegmentFFT.String())
+	return nil
+}
+
+// produceStream is the tile-wise phase 1–2: halo exchange, then per tile
+// convolve + block-FFT + pack + fan out, so destination links carry tile
+// k while tile k+1 is still convolving. The packed send buffer is
+// persistent and written once per region — in-flight chunks reference it
+// until their frames flush; it is returned because the coded exchange
+// encodes parity over it after the fan-out. sendWait is the cumulative
+// time Send spent blocked on window backpressure. A nil onSendErr fails
+// fast on the first send error; the coded path passes a callback that
+// marks the destination dead and continues.
+func (e *distExec) produceStream(ctx context.Context, st exch.Stream, bounds []int, localIn []complex128, onSendErr func(dst int, err error) error) (send []complex128, sendWait time.Duration, err error) {
+	pl, p, rank, r := e.pl, e.pl.prm, e.rank, e.r
+
+	// Phase 1: post the halo prefix(es) immediately (sends are
+	// asynchronous); the receive is deferred until the first tile whose
+	// rows read past the owned block.
+	halo := pl.HaloLen()
+	t0 := time.Now()
+	e.tr.Begin(e.tid, rank, instrument.StageHalo.String())
+	ext := make([]complex128, e.nLocal+halo)
+	copy(ext, localIn)
+	depth := 0
+	if r > 1 {
+		for d := 1; (d-1)*e.nLocal < halo; d++ {
+			need := halo - (d-1)*e.nLocal
+			if need > e.nLocal {
+				need = e.nLocal
+			}
+			e.c.Send((rank-d+r*d)%r, tagHalo+d, localIn[:need])
+			depth = d
+		}
+	}
+	e.dt.Halo += time.Since(t0)
+	e.tr.End(e.tid, rank, instrument.StageHalo.String())
+
+	// jMid: first local row whose convolution taps leave the owned block.
+	jLo := rank * e.bpr
+	jMid := jLo
+	for jMid < jLo+e.bpr && pl.rowEndCol(jMid) <= (rank+1)*e.nLocal {
+		jMid++
+	}
+
+	maxTile := 0
+	for k := 0; k+1 < len(bounds); k++ {
+		if w := bounds[k+1] - bounds[k]; w > maxTile {
+			maxTile = w
+		}
+	}
+	send = make([]complex128, e.bpr*p.P) // persistent: dst t's chunk at [t·chunk, (t+1)·chunk)
+	conv := make([]complex128, maxTile*p.P)
+	v := make([]complex128, maxTile*p.P)
+
+	haveHalo := false
+	for k := 0; k+1 < len(bounds); k++ {
+		lo, hi := bounds[k], bounds[k+1]
+
+		// The boundary rows need the neighbour prefix(es); interior tiles
+		// before this point overlapped with the halo flight.
+		if !haveHalo && jLo+hi > jMid {
+			t0 = time.Now()
+			e.tr.Begin(e.tid, rank, instrument.StageHalo.String())
+			if r == 1 {
+				copy(ext[e.nLocal:], localIn[:halo])
+			} else {
+				for d := 1; d <= depth; d++ {
+					data := e.c.RecvC((rank+d)%r, tagHalo+d)
+					copy(ext[e.nLocal+(d-1)*e.nLocal:], data)
+				}
+			}
+			e.dt.Halo += time.Since(t0)
+			e.tr.End(e.tid, rank, instrument.StageHalo.String())
+			haveHalo = true
+		}
+
+		// Phase 2 for this tile: convolution rows, their P-point FFTs, and
+		// the node-local pack (lanes [t·spr, (t+1)·spr) of each block to
+		// destination t) — identical arithmetic to the blocking phase12,
+		// just row-range-restricted, so the results are bit-identical.
+		t0 = time.Now()
+		e.tr.Begin(e.tid, rank, instrument.StageConvolve.String())
+		parfor(e.workers, hi-lo, func(a, b int) {
+			w0 := time.Now()
+			pl.ConvolveRange(conv[a*p.P:b*p.P], ext, jLo+lo+a, jLo+lo+b, rank*e.nLocal)
+			pl.BlockFFTBatch(v[a*p.P:b*p.P], conv[a*p.P:b*p.P], b-a)
+			if e.timed {
+				e.convBusy.Add(int64(time.Since(w0)))
+			}
+		})
+		for t := 0; t < r; t++ {
+			base := t * e.chunk
+			for j := lo; j < hi; j++ {
+				copy(send[base+j*e.spr:base+(j+1)*e.spr], v[(j-lo)*p.P+t*e.spr:(j-lo)*p.P+(t+1)*e.spr])
+			}
+		}
+		e.dt.Convolve += time.Since(t0)
+		e.tr.End(e.tid, rank, instrument.StageConvolve.String())
+
+		// Fan tile k out, neighbours first, self last; Send blocks only on
+		// the in-flight window (wire pacing), which we book as visible
+		// exchange time.
+		for off := 0; off < r; off++ {
+			dst := (rank + 1 + off) % r
+			data := send[dst*e.chunk+lo*e.spr : dst*e.chunk+hi*e.spr]
+			w0 := time.Now()
+			e.tr.ChunkBegin(e.tid, rank, "exchange_chunk_send", k)
+			serr := st.Send(dst, k, data)
+			e.tr.ChunkEnd(e.tid, rank, "exchange_chunk_send", k)
+			sendWait += time.Since(w0)
+			if serr != nil {
+				if onSendErr == nil {
+					return send, sendWait, serr
+				}
+				if err := onSendErr(dst, serr); err != nil {
+					return send, sendWait, err
+				}
+			}
+		}
+		if err := ctx.Err(); err != nil {
+			return send, sendWait, err
+		}
+	}
+	return send, sendWait, nil
+}
+
+// consumeStream scatters arriving chunks into the column-major phase-4
+// buffer — the receive side of the stride-P transpose, overlapped with
+// the wire. The first per-source failure is returned (after the stream
+// drains; the tracker retires a failed source's remaining slots).
+func (e *distExec) consumeStream(st exch.Stream, bounds []int, xcol []complex128) error {
+	mp := e.pl.mp
+	var firstErr error
+	for {
+		c, ok := st.Next()
+		if !ok {
+			return firstErr
+		}
+		if c.Err != nil {
+			if firstErr == nil {
+				firstErr = c.Err
+			}
+			continue
+		}
+		lo, hi := bounds[c.Index], bounds[c.Index+1]
+		if len(c.Data) != (hi-lo)*e.spr {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("core: rank %d: stream chunk %d from %d has %d elements, want %d: %w",
+					e.rank, c.Index, c.Src, len(c.Data), (hi-lo)*e.spr, ErrLength)
+			}
+			continue
+		}
+		e.tr.ChunkInstant(e.tid, e.rank, "exchange_chunk_recv", c.Index)
+		for j := lo; j < hi; j++ {
+			row := c.Data[(j-lo)*e.spr : (j-lo+1)*e.spr]
+			for ss, val := range row {
+				xcol[ss*mp+c.Src*e.bpr+j] = val
+			}
+		}
+	}
+}
+
+// phase4Cols is phase4 over the pre-scattered column-major buffer:
+// segment ss's input is already contiguous, so it feeds SegmentFFT with
+// no per-segment gather (the consumer did the transpose behind the wire).
+func (e *distExec) phase4Cols(xcol, out []complex128) {
+	pl := e.pl
+	parfor(e.workers, e.spr, func(sLo, sHi int) {
+		w0 := time.Now()
+		yt := make([]complex128, pl.mp)
+		for ss := sLo; ss < sHi; ss++ {
+			pl.SegmentFFT(yt, xcol[ss*pl.mp:(ss+1)*pl.mp])
+			pl.Demodulate(out[ss*pl.m:(ss+1)*pl.m], yt)
+		}
+		if e.timed {
+			e.segBusy.Add(int64(time.Since(w0)))
+		}
+	})
+}

@@ -1,0 +1,263 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"soifft/internal/instrument"
+	"soifft/internal/mpi"
+	"soifft/internal/signal"
+)
+
+// streamParams has several convolution blocks and segments per rank on 4
+// ranks, so the tile schedule is non-trivial at every window under test.
+var streamParams = Params{N: 2048, P: 8, Mu: 5, Nu: 4, B: 32, Workers: 1}
+
+// TestAsyncWindowBitIdentity: the streamed exchange re-orders pure data
+// movement only — for every window the spectrum must match the blocking
+// exchange bit for bit, with the same single-all-to-all accounting and
+// the same analytic 16·(1+β)·N·(R−1)/R wire volume.
+func TestAsyncWindowBitIdentity(t *testing.T) {
+	const r, seed = 4, 301
+	ref, _, refStats := runSOIDistributed(t, streamParams, r, seed)
+	nPrime := streamParams.N / streamParams.Nu * streamParams.Mu
+	wantBytes := int64(nPrime * 16 * (r - 1) / r)
+	if refStats.AlltoallBytes != wantBytes {
+		t.Fatalf("blocking volume %d, want analytic %d", refStats.AlltoallBytes, wantBytes)
+	}
+	for _, w := range []int{1, 2, r} {
+		got, _, stats := runSOIDistributed(t, streamParams, r, seed, WithAsyncWindow(w))
+		if e := signal.MaxAbsErr(got, ref); e != 0 {
+			t.Errorf("window %d: streamed differs from blocking by %.3e", w, e)
+		}
+		if stats.Alltoalls != 1 {
+			t.Errorf("window %d: %d all-to-alls, want exactly 1", w, stats.Alltoalls)
+		}
+		if stats.AlltoallBytes != wantBytes {
+			t.Errorf("window %d: exchange carried %d bytes, want analytic %d",
+				w, stats.AlltoallBytes, wantBytes)
+		}
+	}
+}
+
+// TestAsyncStreamRecorderBudget: the chunked frames must count against
+// the same analytic exchange budget as the blocking call — one collective
+// op, 16·(1+β)·N·(R−1)/R bytes regardless of window — plus a positive
+// chunk count only the streamed path produces.
+func TestAsyncStreamRecorderBudget(t *testing.T) {
+	const r = 4
+	pl, err := NewPlan(streamParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := instrument.New(instrument.LevelTimers)
+	src := signal.Random(streamParams.N, 17)
+	got := make([]complex128, streamParams.N)
+	w, err := mpi.NewWorld(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nLocal := streamParams.N / r
+	err = w.Run(func(c *mpi.Comm) error {
+		_, err := pl.RunDistributed(context.Background(), c,
+			got[c.Rank()*nLocal:(c.Rank()+1)*nLocal],
+			src[c.Rank()*nLocal:(c.Rank()+1)*nLocal],
+			WithAsyncWindow(2), WithRecorder(rec))
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := rec.Snapshot()
+	nPrime := streamParams.N / streamParams.Nu * streamParams.Mu
+	wantBytes := int64(nPrime * 16 * (r - 1) / r)
+	if snap.Comm.AlltoallBytes != wantBytes {
+		t.Errorf("recorder all-to-all bytes %d, want analytic %d", snap.Comm.AlltoallBytes, wantBytes)
+	}
+	if snap.Comm.Alltoalls != 1 {
+		t.Errorf("recorder counted %d all-to-all ops, want 1", snap.Comm.Alltoalls)
+	}
+	if snap.Comm.StreamChunks == 0 {
+		t.Error("streamed run recorded zero chunks")
+	}
+	// Chunks partition the blocking payload: every rank ships T chunks to
+	// each of the R−1 remote destinations.
+	if snap.Comm.StreamChunks%int64(r*(r-1)) != 0 {
+		t.Errorf("chunk count %d not a multiple of R(R-1)=%d", snap.Comm.StreamChunks, r*(r-1))
+	}
+	if ratio := snap.Comm.OverlapRatio(snap.Stages[instrument.StageExchange].Wall); ratio < 0 || ratio > 1 {
+		t.Errorf("overlap ratio %.3f outside [0,1]", ratio)
+	}
+}
+
+// opaqueComm hides every optional capability of the wrapped Comm: the
+// promoted method set is exactly the Comm interface, so StreamComm and
+// CheckedComm assertions fail and the driver must fall back.
+type opaqueComm struct{ Comm }
+
+// TestAsyncWindowFallbackWithoutCapability: a window on a transport
+// without the StreamComm capability silently selects the blocking
+// exchange — same bits, no streamed chunks.
+func TestAsyncWindowFallbackWithoutCapability(t *testing.T) {
+	const r, seed = 4, 302
+	ref, _, _ := runSOIDistributed(t, streamParams, r, seed)
+	pl, err := NewPlan(streamParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := instrument.New(instrument.LevelCounters)
+	src := signal.Random(streamParams.N, seed)
+	got := make([]complex128, streamParams.N)
+	w, err := mpi.NewWorld(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nLocal := streamParams.N / r
+	err = w.Run(func(c *mpi.Comm) error {
+		_, err := pl.RunDistributed(context.Background(), opaqueComm{c},
+			got[c.Rank()*nLocal:(c.Rank()+1)*nLocal],
+			src[c.Rank()*nLocal:(c.Rank()+1)*nLocal],
+			WithAsyncWindow(2), WithRecorder(rec))
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := signal.MaxAbsErr(got, ref); e != 0 {
+		t.Errorf("fallback result differs from blocking by %.3e", e)
+	}
+	if n := rec.Snapshot().Comm.StreamChunks; n != 0 {
+		t.Errorf("capability-less transport streamed %d chunks, want 0", n)
+	}
+}
+
+// TestAsyncCodedBitIdentity: coding composes with streaming — for every
+// parity budget the streamed coded exchange must reproduce the blocking
+// coded exchange (and hence the plain transform) bit for bit on a clean
+// run.
+func TestAsyncCodedBitIdentity(t *testing.T) {
+	const r, seed = 4, 303
+	pl, err := NewPlan(codedParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := signal.Random(codedParams.N, seed)
+	ref, _, _ := runSOIDistributed(t, codedParams, r, seed)
+	nLocal := codedParams.N / r
+	for _, m := range []int{0, 1, 2} {
+		for _, win := range []int{1, 2} {
+			got := make([]complex128, codedParams.N)
+			w, err := mpi.NewWorld(r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			err = w.Run(func(c *mpi.Comm) error {
+				rank := c.Rank()
+				out := make([]complex128, nLocal)
+				_, err := pl.RunDistributed(context.Background(), c, out,
+					src[rank*nLocal:(rank+1)*nLocal],
+					WithCoding(m), WithAsyncWindow(win))
+				copy(got[rank*nLocal:(rank+1)*nLocal], out)
+				return err
+			})
+			if err != nil {
+				t.Fatalf("m=%d window=%d: %v", m, win, err)
+			}
+			if e := signal.MaxAbsErr(got, ref); e != 0 {
+				t.Errorf("m=%d window=%d: streamed coded differs by %.3e", m, win, e)
+			}
+		}
+	}
+}
+
+// TestDeprecatedWrappersDelegate: the pre-option entry points must keep
+// compiling and produce bit-identical results by delegating to
+// RunDistributed.
+func TestDeprecatedWrappersDelegate(t *testing.T) {
+	const r, seed = 4, 304
+	ref, _, _ := runSOIDistributed(t, streamParams, r, seed)
+	pl, err := NewPlan(streamParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := signal.Random(streamParams.N, seed)
+	nLocal := streamParams.N / r
+
+	runWorld := func(name string, body func(c *mpi.Comm, out, in []complex128) error) []complex128 {
+		t.Helper()
+		got := make([]complex128, streamParams.N)
+		w, err := mpi.NewWorld(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = w.Run(func(c *mpi.Comm) error {
+			rank := c.Rank()
+			return body(c, got[rank*nLocal:(rank+1)*nLocal], src[rank*nLocal:(rank+1)*nLocal])
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		return got
+	}
+
+	plain := runWorld("RunDistributedContext", func(c *mpi.Comm, out, in []complex128) error {
+		//lint:ignore SA1019 the wrapper's delegation contract is under test
+		_, err := pl.RunDistributedContext(context.Background(), c, out, in)
+		return err
+	})
+	if e := signal.MaxAbsErr(plain, ref); e != 0 {
+		t.Errorf("RunDistributedContext differs from RunDistributed by %.3e", e)
+	}
+
+	coded := runWorld("RunDistributedCoded", func(c *mpi.Comm, out, in []complex128) error {
+		//lint:ignore SA1019 the wrapper's delegation contract is under test
+		_, err := pl.RunDistributedCoded(c, 1, out, in)
+		return err
+	})
+	if e := signal.MaxAbsErr(coded, ref); e != 0 {
+		t.Errorf("RunDistributedCoded differs from RunDistributed by %.3e", e)
+	}
+
+	codedCtx := runWorld("RunDistributedCodedContext", func(c *mpi.Comm, out, in []complex128) error {
+		//lint:ignore SA1019 the wrapper's delegation contract is under test
+		_, err := pl.RunDistributedCodedContext(context.Background(), c, 1, out, in)
+		return err
+	})
+	if e := signal.MaxAbsErr(codedCtx, ref); e != 0 {
+		t.Errorf("RunDistributedCodedContext differs from RunDistributed by %.3e", e)
+	}
+
+	// Inverse: forward then deprecated inverse must round-trip to the
+	// same bits as the current inverse entry point.
+	invNew := runWorld("RunDistributedInverse", func(c *mpi.Comm, out, in []complex128) error {
+		rank := c.Rank()
+		_, err := pl.RunDistributedInverse(context.Background(), c, out, ref[rank*nLocal:(rank+1)*nLocal])
+		return err
+	})
+	invOld := runWorld("RunDistributedInverseContext", func(c *mpi.Comm, out, in []complex128) error {
+		rank := c.Rank()
+		//lint:ignore SA1019 the wrapper's delegation contract is under test
+		_, err := pl.RunDistributedInverseContext(context.Background(), c, out, ref[rank*nLocal:(rank+1)*nLocal])
+		return err
+	})
+	if e := signal.MaxAbsErr(invOld, invNew); e != 0 {
+		t.Errorf("RunDistributedInverseContext differs from RunDistributedInverse by %.3e", e)
+	}
+}
+
+// TestAsyncWindowPairwisePlanIgnored: a plan configured for the pairwise
+// exchange still honours the async window (the streamed schedule is
+// itself pairwise), staying bit-identical to both blocking variants.
+func TestAsyncWindowPairwiseBitIdentity(t *testing.T) {
+	const r, seed = 4, 305
+	pw := streamParams
+	pw.Exchange = ExchangePairwise
+	ref, _, _ := runSOIDistributed(t, pw, r, seed)
+	got, _, stats := runSOIDistributed(t, pw, r, seed, WithAsyncWindow(3))
+	if e := signal.MaxAbsErr(got, ref); e != 0 {
+		t.Errorf("streamed pairwise plan differs by %.3e", e)
+	}
+	if stats.Alltoalls != 1 {
+		t.Errorf("%d all-to-alls, want 1", stats.Alltoalls)
+	}
+}

@@ -129,6 +129,14 @@ type commCounters struct {
 	recoveryBytes   atomic.Int64
 	reconstructions atomic.Int64
 	degraded        atomic.Int64
+
+	// Streamed-exchange counters: chunks shipped by the async pipelined
+	// all-to-all, and the wire time it hid behind compute. With the
+	// streamed exchange, the StageExchange wall timer reports only the
+	// un-hidden remainder; hiddenExchangeNs preserves the overlapped
+	// span so reports can show both halves.
+	streamChunks     atomic.Int64
+	hiddenExchangeNs atomic.Int64
 }
 
 // Recorder accumulates observations. All methods are safe for concurrent
@@ -264,6 +272,26 @@ func (r *Recorder) CountDegraded() {
 	r.comm.degraded.Add(1)
 }
 
+// CountStreamChunk records one chunk shipped through the streamed
+// (async pipelined) all-to-all, self-chunks excluded.
+func (r *Recorder) CountStreamChunk() {
+	if r == nil {
+		return
+	}
+	r.comm.streamChunks.Add(1)
+}
+
+// AddHiddenExchange accumulates exchange wire time that ran concurrently
+// with compute and therefore does not appear in StageExchange's wall
+// time. HiddenExchange + StageExchange wall reconstructs the comparable
+// blocking-exchange span for overlap-ratio reporting.
+func (r *Recorder) AddHiddenExchange(d time.Duration) {
+	if r == nil || d <= 0 {
+		return
+	}
+	r.comm.hiddenExchangeNs.Add(int64(d))
+}
+
 // CountRetransmit records a transport-level retry (e.g. a mesh dial
 // retry while peers launch).
 func (r *Recorder) CountRetransmit() {
@@ -314,6 +342,8 @@ func (r *Recorder) Reset() {
 	r.comm.recoveryBytes.Store(0)
 	r.comm.reconstructions.Store(0)
 	r.comm.degraded.Store(0)
+	r.comm.streamChunks.Store(0)
+	r.comm.hiddenExchangeNs.Store(0)
 }
 
 // StageSnapshot is the point-in-time copy of one stage's counters.
@@ -364,6 +394,23 @@ type CommSnapshot struct {
 	Reconstructions int64
 	// DegradedTransforms counts transforms completed with reconstruction.
 	DegradedTransforms int64
+
+	// StreamChunks counts chunks shipped via the streamed all-to-all.
+	StreamChunks int64
+	// HiddenExchange is exchange wire time overlapped with compute and
+	// excluded from the StageExchange wall timer.
+	HiddenExchange time.Duration
+}
+
+// OverlapRatio is the fraction of total exchange time hidden behind
+// compute: hidden / (hidden + visible StageExchange wall). Zero without
+// timing or without streamed exchanges.
+func (c CommSnapshot) OverlapRatio(exchangeWall time.Duration) float64 {
+	total := c.HiddenExchange + exchangeWall
+	if total <= 0 {
+		return 0
+	}
+	return float64(c.HiddenExchange) / float64(total)
 }
 
 // Snapshot is a point-in-time copy of every counter.
@@ -408,6 +455,8 @@ func (r *Recorder) Snapshot() Snapshot {
 		RecoveryBytes:      r.comm.recoveryBytes.Load(),
 		Reconstructions:    r.comm.reconstructions.Load(),
 		DegradedTransforms: r.comm.degraded.Load(),
+		StreamChunks:       r.comm.streamChunks.Load(),
+		HiddenExchange:     time.Duration(r.comm.hiddenExchangeNs.Load()),
 	}
 	return s
 }

@@ -1,6 +1,10 @@
 package mpi
 
-import "fmt"
+import (
+	"fmt"
+
+	"soifft/internal/exch"
+)
 
 // Comm is one rank's handle on the world. All methods must be called only
 // from that rank's goroutine.
@@ -56,6 +60,18 @@ func (c *Comm) Sendrecv(to, sendTag int, data any, from, recvTag int) any {
 	return c.recv(from, recvTag)
 }
 
+// box selects the FIFO for one (src, dst, tag) triple: the streamed
+// exchange's tag band gets its own per-pair mailbox, because its
+// receiver goroutines run concurrently with ordinary receives (halo,
+// parity) on the same pair and a shared FIFO would let either consumer
+// pop the other's message.
+func (w *World) box(src, dst, tag int) *mailbox {
+	if tag <= exch.TagBase {
+		return w.sboxes[src*w.size+dst]
+	}
+	return w.boxes[src*w.size+dst]
+}
+
 // send counts every message at the wire level (collectives included) and
 // enqueues a copy of the payload.
 func (c *Comm) send(to, tag int, data any) {
@@ -64,14 +80,14 @@ func (c *Comm) send(to, tag int, data any) {
 	}
 	c.world.stats.p2pMessages.Add(1)
 	c.world.stats.p2pBytes.Add(sizeOf(data))
-	c.world.boxes[c.rank*c.world.size+to].put(packet{tag: tag, data: copyPayload(data)})
+	c.world.box(c.rank, to, tag).put(packet{tag: tag, data: copyPayload(data)})
 }
 
 func (c *Comm) recv(from, tag int) any {
 	if from < 0 || from >= c.world.size {
 		panic(fmt.Sprintf("mpi: recv from invalid rank %d (size %d)", from, c.world.size))
 	}
-	p, ok := c.world.boxes[from*c.world.size+c.rank].get(tag)
+	p, ok := c.world.box(from, c.rank, tag).get(tag)
 	if !ok {
 		panic(&AbortError{Rank: c.rank})
 	}

@@ -63,8 +63,9 @@ type Stats struct {
 
 // World is a fixed-size set of ranks sharing mailboxes and counters.
 type World struct {
-	size  int
-	boxes []*mailbox // boxes[src*size+dst]
+	size   int
+	boxes  []*mailbox // boxes[src*size+dst], ordinary tag space
+	sboxes []*mailbox // same geometry, streamed-exchange band (tag <= exch.TagBase)
 
 	abortOnce sync.Once
 	aborted   atomic.Bool
@@ -85,9 +86,10 @@ func NewWorld(size int) (*World, error) {
 	if size <= 0 {
 		return nil, fmt.Errorf("mpi: world size must be positive, got %d", size)
 	}
-	w := &World{size: size, boxes: make([]*mailbox, size*size)}
+	w := &World{size: size, boxes: make([]*mailbox, size*size), sboxes: make([]*mailbox, size*size)}
 	for i := range w.boxes {
 		w.boxes[i] = newMailbox()
+		w.sboxes[i] = newMailbox()
 	}
 	return w, nil
 }
@@ -149,6 +151,9 @@ func (w *World) abort() {
 	w.abortOnce.Do(func() {
 		w.aborted.Store(true)
 		for _, b := range w.boxes {
+			b.kill()
+		}
+		for _, b := range w.sboxes {
 			b.kill()
 		}
 	})

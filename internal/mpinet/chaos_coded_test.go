@@ -8,6 +8,7 @@
 package mpinet
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -98,7 +99,7 @@ func TestChaosCodedSurvivesRankDeathMidExchange(t *testing.T) {
 			errs, elapsed := runRanks(t, procs, 2*ioT, func(p *Proc) error {
 				rank := p.Rank()
 				out := make([]complex128, nLocal)
-				_, err := pl.RunDistributedCoded(p, 1, out, src[rank*nLocal:(rank+1)*nLocal])
+				_, err := pl.RunDistributed(context.Background(), p, out, src[rank*nLocal:(rank+1)*nLocal], core.WithCoding(1))
 				if rank == victim {
 					return err
 				}
@@ -182,7 +183,7 @@ func TestChaosCodedDoubleDeathBeyondBudgetFailsTyped(t *testing.T) {
 	killAtExchange(t, procs, 1, 2)
 	errs, elapsed := runRanks(t, procs, 2*ioT, func(p *Proc) error {
 		out := make([]complex128, nLocal)
-		_, err := pl.RunDistributedCoded(p, 1, out, src[p.Rank()*nLocal:(p.Rank()+1)*nLocal])
+		_, err := pl.RunDistributed(context.Background(), p, out, src[p.Rank()*nLocal:(p.Rank()+1)*nLocal], core.WithCoding(1))
 		return err
 	})
 	for _, rank := range []int{0, 3} {
@@ -213,7 +214,7 @@ func TestChaosCodedDeathWithoutParityFailsTyped(t *testing.T) {
 	killAtExchange(t, procs, 2)
 	errs, _ := runRanks(t, procs, 2*ioT, func(p *Proc) error {
 		out := make([]complex128, nLocal)
-		_, err := pl.RunDistributedCoded(p, 0, out, src[p.Rank()*nLocal:(p.Rank()+1)*nLocal])
+		_, err := pl.RunDistributed(context.Background(), p, out, src[p.Rank()*nLocal:(p.Rank()+1)*nLocal], core.WithCoding(0))
 		return err
 	})
 	for _, rank := range []int{0, 1, 3} {
@@ -260,7 +261,7 @@ func TestChaosCodedMatrix(t *testing.T) {
 				errs, elapsed := runRanks(t, procs, 10*ioT, func(p *Proc) error {
 					rank := p.Rank()
 					out := make([]complex128, nLocal)
-					_, err := pl.RunDistributedCoded(p, 1, out, src[rank*nLocal:(rank+1)*nLocal])
+					_, err := pl.RunDistributed(context.Background(), p, out, src[rank*nLocal:(rank+1)*nLocal], core.WithCoding(1))
 					var deg *core.DegradedError
 					if err != nil && !errors.As(err, &deg) {
 						return err

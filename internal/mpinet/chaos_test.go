@@ -8,6 +8,7 @@
 package mpinet
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -139,7 +140,7 @@ func TestChaosMatrix(t *testing.T) {
 				full := make([]complex128, n)
 				errs, elapsed := runRanks(t, procs, 2*ioT, func(p *Proc) error {
 					out := got[p.Rank()*nLocal : (p.Rank()+1)*nLocal]
-					if _, err := pl.RunDistributed(p, out, src[p.Rank()*nLocal:(p.Rank()+1)*nLocal]); err != nil {
+					if _, err := pl.RunDistributed(context.Background(), p, out, src[p.Rank()*nLocal:(p.Rank()+1)*nLocal]); err != nil {
 						return err
 					}
 					return core.GuardComm(func() {

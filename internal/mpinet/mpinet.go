@@ -443,7 +443,14 @@ func (p *Proc) RecvCChecked(from, tag int) ([]complex128, error) {
 		panic(fmt.Sprintf("mpinet: recv from invalid rank %d", from))
 	}
 	pe := p.peers[from]
-	pkt, err := pe.box.get(p.IOTimeout())
+	return p.recvFromBox(pe, pe.box, from, tag)
+}
+
+// recvFromBox pops the next frame of one peer mailbox and checks its
+// tag; ordinary receives and the streamed exchange each drain their own
+// box, so their consumers never race for a frame.
+func (p *Proc) recvFromBox(pe *peer, box *netMailbox, from, tag int) ([]complex128, error) {
+	pkt, err := box.get(p.IOTimeout())
 	if err != nil {
 		select {
 		case <-pe.dead:
@@ -594,12 +601,23 @@ type packet struct {
 	data []complex128
 }
 
+// outFrame is one queued wire frame: the encoded bytes plus an optional
+// flush notification, invoked by the writer after the frame's last byte
+// reached the socket. The callback is the windowed stream's credit
+// release — it is never invoked if the link dies first (senders observe
+// the death through pe.dead instead).
+type outFrame struct {
+	buf     []byte
+	flushed func()
+}
+
 type peer struct {
 	rank int
 	conn net.Conn
-	out  chan []byte
+	out  chan outFrame
 	box  *netMailbox
-	pr   *Proc // back-reference for the I/O deadline and wire counters
+	sbox *netMailbox // streamed-exchange chunk frames (tag band <= exch.TagBase)
+	pr   *Proc       // back-reference for the I/O deadline and wire counters
 
 	outOnce   sync.Once // closes out exactly once (close and shutdown share it)
 	closeOnce sync.Once
@@ -614,8 +632,9 @@ func newPeer(conn net.Conn, rank int, pr *Proc) *peer {
 	return &peer{
 		rank:    rank,
 		conn:    conn,
-		out:     make(chan []byte, 4096),
+		out:     make(chan outFrame, 4096),
 		box:     newNetMailbox(),
+		sbox:    newNetMailbox(),
 		pr:      pr,
 		drained: make(chan struct{}),
 		dead:    make(chan struct{}),
@@ -635,6 +654,7 @@ func (pe *peer) fail(cause error) {
 		pe.pr.noteFailure(cause)
 		close(pe.dead)
 		pe.box.kill(cause)
+		pe.sbox.kill(cause)
 		_ = pe.conn.Close()
 	})
 }
@@ -649,13 +669,20 @@ func (pe *peer) failure() error {
 // (a failed writeLoop no longer drains out at full rate, so blocking on
 // a dead peer's queue would hang forever once 4096 frames pile up).
 func (pe *peer) send(frame []byte) error {
+	return pe.sendFrame(frame, nil)
+}
+
+// sendFrame is send with an optional flush callback, run by the writer
+// once the frame's bytes have all reached the socket. If the link dies
+// before the frame flushes, the callback is dropped along with the frame.
+func (pe *peer) sendFrame(frame []byte, flushed func()) error {
 	select {
 	case <-pe.dead:
 		return pe.failure()
 	default:
 	}
 	select {
-	case pe.out <- frame:
+	case pe.out <- outFrame{buf: frame, flushed: flushed}:
 		return nil
 	case <-pe.dead:
 		return pe.failure()
@@ -703,22 +730,22 @@ func (pe *peer) writeFrame(frame []byte) error {
 func (pe *peer) writeLoop() {
 	defer close(pe.drained)
 	for {
-		var frame []byte
+		var fr outFrame
 		var ok bool
 		if d := pe.timeout(); d > 0 {
 			t := time.NewTimer(d / 3)
 			select {
-			case frame, ok = <-pe.out:
+			case fr, ok = <-pe.out:
 				t.Stop()
 			case <-t.C:
-				frame, ok = heartbeatFrame, true
+				fr, ok = outFrame{buf: heartbeatFrame}, true
 			}
 		} else {
 			// No deadline: poll so a later SetIOTimeout still takes
 			// effect on an idle link (no heartbeats are sent meanwhile).
 			t := time.NewTimer(500 * time.Millisecond)
 			select {
-			case frame, ok = <-pe.out:
+			case fr, ok = <-pe.out:
 				t.Stop()
 			case <-t.C:
 				continue
@@ -727,17 +754,20 @@ func (pe *peer) writeLoop() {
 		if !ok {
 			return
 		}
-		if err := pe.writeFrame(frame); err != nil {
+		if err := pe.writeFrame(fr.buf); err != nil {
 			pe.fail(classify(err, pe.timeout()))
 			for range pe.out { // drain until close() closes the channel
 			}
 			return
 		}
-		if isHeartbeat(frame) {
+		if fr.flushed != nil {
+			fr.flushed()
+		}
+		if isHeartbeat(fr.buf) {
 			pe.pr.stats.heartbeatsSent.Add(1)
 		} else {
 			pe.pr.stats.framesSent.Add(1)
-			pe.pr.stats.bytesSent.Add(int64(len(frame)))
+			pe.pr.stats.bytesSent.Add(int64(len(fr.buf)))
 		}
 	}
 }
@@ -805,7 +835,15 @@ func (pe *peer) readLoop() {
 			im := math.Float64frombits(binary.LittleEndian.Uint64(raw[i*16+8:]))
 			data[i] = complex(re, im)
 		}
-		pe.box.put(packet{tag: tag, data: data})
+		// Stream chunks land in their own mailbox: the windowed
+		// exchange's receiver goroutines run concurrently with ordinary
+		// receives (halo, parity) on the same link, and a shared FIFO
+		// would let either consumer pop the other's frame.
+		if isStreamTag(tag) {
+			pe.sbox.put(packet{tag: tag, data: data})
+		} else {
+			pe.box.put(packet{tag: tag, data: data})
+		}
 	}
 }
 

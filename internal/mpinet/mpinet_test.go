@@ -1,6 +1,7 @@
 package mpinet
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -149,7 +150,7 @@ func TestTCPDistributedSOI(t *testing.T) {
 	nLocal := n / ranks
 	spmd(t, procs, func(p *Proc) error {
 		out := got[p.Rank()*nLocal : (p.Rank()+1)*nLocal]
-		_, err := pl.RunDistributed(p, out, src[p.Rank()*nLocal:(p.Rank()+1)*nLocal])
+		_, err := pl.RunDistributed(context.Background(), p, out, src[p.Rank()*nLocal:(p.Rank()+1)*nLocal])
 		return err
 	})
 	if e := signal.RelErrL2(got, want); e > 1e-10 {
@@ -159,7 +160,7 @@ func TestTCPDistributedSOI(t *testing.T) {
 	back := make([]complex128, n)
 	spmd(t, procs, func(p *Proc) error {
 		out := back[p.Rank()*nLocal : (p.Rank()+1)*nLocal]
-		_, err := pl.RunDistributedInverse(p, out, got[p.Rank()*nLocal:(p.Rank()+1)*nLocal])
+		_, err := pl.RunDistributedInverse(context.Background(), p, out, got[p.Rank()*nLocal:(p.Rank()+1)*nLocal])
 		return err
 	})
 	if e := signal.RelErrL2(back, src); e > 1e-10 {

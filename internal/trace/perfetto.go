@@ -97,6 +97,12 @@ func writePerfettoEvents(w io.Writer, events []Event) error {
 			if ev.Trace != 0 {
 				pe.Args = map[string]any{"trace": ev.Trace.String()}
 			}
+			if ev.Arg != 0 { // ChunkBegin: arg is the chunk index + 1
+				if pe.Args == nil {
+					pe.Args = map[string]any{}
+				}
+				pe.Args["chunk"] = ev.Arg - 1
+			}
 		case KindEnd:
 			pe.Ph = "E"
 		case KindInstant:
@@ -104,6 +110,12 @@ func writePerfettoEvents(w io.Writer, events []Event) error {
 			pe.S = "t"
 			if ev.Trace != 0 {
 				pe.Args = map[string]any{"trace": ev.Trace.String()}
+			}
+			if ev.Arg != 0 { // ChunkInstant: arg is the chunk index + 1
+				if pe.Args == nil {
+					pe.Args = map[string]any{}
+				}
+				pe.Args["chunk"] = ev.Arg - 1
 			}
 		case KindCounter:
 			pe.Ph = "C"

@@ -224,6 +224,25 @@ func (t *Tracer) Span(id ID, rank int, name string) func() {
 // points).
 func (t *Tracer) Instant(id ID, rank int, name string) { t.emit(KindInstant, id, rank, name, 0) }
 
+// ChunkBegin opens a span for one streamed-exchange chunk on the
+// (rank, name) track, carrying the chunk index as the event argument so
+// per-chunk wire activity renders chunk-granular in the Perfetto export.
+// Pair with ChunkEnd on the same track.
+func (t *Tracer) ChunkBegin(id ID, rank int, name string, idx int) {
+	t.emit(KindBegin, id, rank, name, int64(idx)+1)
+}
+
+// ChunkEnd closes the span opened by ChunkBegin.
+func (t *Tracer) ChunkEnd(id ID, rank int, name string, idx int) {
+	t.emit(KindEnd, id, rank, name, int64(idx)+1)
+}
+
+// ChunkInstant records a point event for one streamed-exchange chunk
+// (e.g. a chunk landing at the consumer), index as the argument.
+func (t *Tracer) ChunkInstant(id ID, rank int, name string, idx int) {
+	t.emit(KindInstant, id, rank, name, int64(idx)+1)
+}
+
 // Counter samples a value on the (rank, name) counter track.
 func (t *Tracer) Counter(id ID, rank int, name string, v int64) {
 	t.emit(KindCounter, id, rank, name, v)
