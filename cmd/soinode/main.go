@@ -35,11 +35,13 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"log/slog"
 	"net"
+	"net/http"
 	"os"
 	"strings"
 	"time"
@@ -53,6 +55,7 @@ import (
 	"soifft/internal/mpinet"
 	"soifft/internal/perfmodel"
 	"soifft/internal/signal"
+	"soifft/internal/telemetry"
 	"soifft/internal/trace"
 )
 
@@ -77,6 +80,16 @@ func main() {
 		"faultnet chaos plan injected into this rank's links, e.g. seed=42,corrupt=0.001,latency=1ms (see internal/faultnet)")
 	report := flag.Bool("report", false,
 		"arm stage timers and print this rank's observability report after the transform: per-stage timings, comm counters, and the measured-vs-predicted communication ratio")
+	telemetryFlag := flag.Bool("telemetry", false,
+		"arm the cluster telemetry plane: this rank ships stat frames to rank 0 at end-of-transform and on exit; pass it (or any other telemetry flag) to EVERY rank, and add -cluster-json/-watch/-http on rank 0 for the aggregated surfaces")
+	telemetryInterval := flag.Duration("telemetry-interval", 0,
+		"ship this rank's stat frame to rank 0 this often mid-transform, in addition to the end-of-transform and final frames (0 = no periodic shipping); arming any telemetry flag starts the cluster plane")
+	clusterJSON := flag.String("cluster-json", "",
+		"rank 0: write the final aggregated cluster snapshot (per-rank stage matrix, per-link wire table, explainer findings) as JSON to this file")
+	watch := flag.Duration("watch", 0,
+		"rank 0: print the live cluster view to stderr this often while the run is in flight")
+	httpAddr := flag.String("http", "",
+		"serve /metrics (Prometheus, this rank + cluster gauges on rank 0) and /debug/cluster (aggregated JSON, rank 0) on this address")
 	traceOut := flag.String("trace-out", "",
 		"write this rank's Perfetto trace JSON here (rank 0 mints the trace ID and broadcasts it, so per-rank files merge into one timeline with `soitrace merge`)")
 	flightDir := flag.String("flight-dir", "",
@@ -135,7 +148,10 @@ func main() {
 			fail(log, err)
 		}
 	}
-	if *report {
+	telemetryOn := *telemetryFlag || *telemetryInterval > 0 || *clusterJSON != "" || *watch > 0 || *httpAddr != ""
+	if *report || telemetryOn {
+		// The telemetry plane reports from the same recorder the -report
+		// view reads; arming either arms the stage timers.
 		plan.SetRecorder(instrument.New(instrument.LevelTimers))
 		proc.SetRecorder(plan.Recorder())
 	}
@@ -163,6 +179,59 @@ func main() {
 		log.Info("tracing armed", "out", *traceOut, "flight_dir", *flightDir)
 	}
 
+	// The cluster telemetry plane: every rank ships compact stat frames
+	// to rank 0 over the transform's own links (control tag), rank 0
+	// aggregates and explains. Armed by any of the telemetry flags.
+	var plane *telemetry.Plane
+	if telemetryOn {
+		plane, err = telemetry.Start(telemetry.Config{
+			Conn:     proc,
+			Recorder: plan.Recorder(),
+			Shape: telemetry.Shape{
+				N: *n, Segments: *segments, Taps: *taps, Beta: 0.25,
+				Parity: *coded, Window: *asyncWindow,
+			},
+			Interval: *telemetryInterval,
+			Tracer:   tracer,
+			TraceID:  tid,
+		})
+		if err != nil {
+			fail(log, err)
+		}
+		log.Info("telemetry plane armed", "interval", telemetryInterval.String())
+	}
+	if *httpAddr != "" {
+		mux := http.NewServeMux()
+		rankLabel := map[string]string{"rank": fmt.Sprint(*rank)}
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+			instrument.WritePrometheus(w, "", rankLabel, plan.Recorder().Snapshot())
+			telemetry.WritePrometheus(w, "", plane.Snapshot())
+		})
+		mux.Handle("/debug/cluster", telemetry.Handler(plane.Snapshot))
+		go func() {
+			if herr := http.ListenAndServe(*httpAddr, mux); herr != nil {
+				log.Warn("http server exited", "err", herr.Error())
+			}
+		}()
+		log.Info("http armed", "addr", *httpAddr)
+	}
+	var watchStop chan struct{}
+	if *watch > 0 && *rank == 0 {
+		watchStop = make(chan struct{})
+		go func() {
+			t := time.NewTicker(*watch)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					telemetry.WriteText(os.Stderr, plane.Snapshot())
+				case <-watchStop:
+					return
+				}
+			}
+		}()
+	}
+
 	src := signal.Random(*n, *seed)
 	nLocal := *n / *size
 	out := make([]complex128, nLocal)
@@ -177,7 +246,7 @@ func main() {
 	var dt core.DistributedTimes
 	var deg *core.DegradedError
 	localIn := src[*rank*nLocal : (*rank+1)*nLocal]
-	opts := []core.DistOption{core.WithAsyncWindow(*asyncWindow)}
+	opts := []core.DistOption{core.WithAsyncWindow(*asyncWindow), core.WithTelemetry(plane)}
 	if *coded >= 0 {
 		opts = append(opts, core.WithCoding(*coded))
 	}
@@ -230,6 +299,34 @@ func main() {
 		}
 	}
 
+	// Finalize telemetry before the trace is written: every rank ships
+	// its final frame; rank 0 aggregates, runs the explainer (findings
+	// are mirrored into the trace as instant events) and renders the
+	// cluster view. Dead ranks surface as stale findings, never a hang.
+	if plane != nil {
+		if watchStop != nil {
+			close(watchStop)
+		}
+		if snap := plane.Final(); snap != nil {
+			telemetry.WriteText(os.Stderr, snap)
+			if len(snap.Findings) > 0 {
+				top := snap.Findings[0]
+				log.Info("explainer top finding", "kind", top.Kind, "rank", top.Rank,
+					"ratio", fmt.Sprintf("%.2f", top.Ratio), "detail", top.Detail)
+			}
+			if *clusterJSON != "" {
+				data, jerr := json.MarshalIndent(snap, "", "  ")
+				if jerr == nil {
+					jerr = os.WriteFile(*clusterJSON, append(data, '\n'), 0o644)
+				}
+				if jerr != nil {
+					fail(log, fmt.Errorf("writing cluster snapshot: %w", jerr))
+				}
+				log.Info("cluster snapshot written", "path", *clusterJSON, "findings", len(snap.Findings))
+			}
+		}
+	}
+
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)
 		if err != nil {
@@ -260,9 +357,9 @@ func main() {
 			*rank, snap.Comm.AlltoallBytes, perRank, baseline, ratio, model.AsymptoticSpeedup())
 		if *asyncWindow > 0 {
 			exWall := snap.Stages[instrument.StageExchange].Wall
-			fmt.Printf("rank %d: async exchange: %d chunks streamed, window %d, un-hidden %s, hidden behind compute %s, overlap %.2f\n",
+			fmt.Printf("rank %d: async exchange: %d chunks streamed, window %d, un-hidden %s, hidden behind compute %s, overlap %.2f, credit-stall %s\n",
 				*rank, snap.Comm.StreamChunks, *asyncWindow, exWall,
-				snap.Comm.HiddenExchange, snap.Comm.OverlapRatio(exWall))
+				snap.Comm.HiddenExchange, snap.Comm.OverlapRatio(exWall), snap.Comm.CreditStall)
 		}
 		if *coded >= 0 {
 			fmt.Printf("rank %d: coded: parity %d B, recovery %d B, %d reconstructions, %d degraded transforms\n",

@@ -9,9 +9,18 @@
 // emits right after the start-of-run barrier, so spans line up even
 // though the processes sampled different monotonic clocks. Open the
 // result in https://ui.perfetto.dev.
+//
+//	soitrace summary merged.json
+//
+// prints the per-stage critical-path table instead: for every span
+// name, the summed wall time of the slowest rank, which rank that is,
+// and the span's share of the straggler-bounded critical path —
+// followed by any explainer findings mirrored into the trace. With
+// -json the digest is emitted as a JSON document for scripts.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -21,13 +30,26 @@ import (
 )
 
 func main() {
-	if len(os.Args) < 2 || os.Args[1] != "merge" {
+	sub := ""
+	if len(os.Args) >= 2 {
+		sub = os.Args[1]
+	}
+	switch sub {
+	case "merge":
+		merge(os.Args[2:])
+	case "summary", "-summary", "--summary":
+		summary(os.Args[2:])
+	default:
 		fmt.Fprintln(os.Stderr, "usage: soitrace merge [-o out.json] trace1.json trace2.json ...")
+		fmt.Fprintln(os.Stderr, "       soitrace summary [-json] trace.json")
 		os.Exit(2)
 	}
+}
+
+func merge(args []string) {
 	fs := flag.NewFlagSet("soitrace merge", flag.ExitOnError)
 	out := fs.String("o", "", "output file (default stdout)")
-	_ = fs.Parse(os.Args[2:])
+	_ = fs.Parse(args)
 	paths := fs.Args()
 	if len(paths) == 0 {
 		fail(fmt.Errorf("no input traces given"))
@@ -62,6 +84,33 @@ func main() {
 	if *out != "" {
 		fmt.Fprintf(os.Stderr, "merged %d trace(s) into %s\n", len(paths), *out)
 	}
+}
+
+func summary(args []string) {
+	fs := flag.NewFlagSet("soitrace summary", flag.ExitOnError)
+	asJSON := fs.Bool("json", false, "emit the digest as JSON instead of a table")
+	_ = fs.Parse(args)
+	if fs.NArg() != 1 {
+		fail(fmt.Errorf("summary takes exactly one (merged) trace file"))
+	}
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		fail(err)
+	}
+	defer f.Close()
+	s, err := soifft.SummarizeTrace(f)
+	if err != nil {
+		fail(err)
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(s); err != nil {
+			fail(err)
+		}
+		return
+	}
+	s.WriteTable(os.Stdout)
 }
 
 func fail(err error) {

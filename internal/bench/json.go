@@ -37,12 +37,16 @@ type BenchRun struct {
 	CommBytes     int64        `json:"comm_bytes"`
 	AlltoallBytes int64        `json:"alltoall_bytes"`
 
-	// AsyncWindow and OverlapRatio come from one extra instrumented run
-	// with the streamed exchange: the window used, and the fraction of
-	// total exchange time hidden behind compute (0 when nothing was
-	// hidden). Additive fields; the regression gate ignores them.
-	AsyncWindow  int     `json:"async_window,omitempty"`
-	OverlapRatio float64 `json:"overlap_ratio"`
+	// AsyncWindow, OverlapRatio and CreditStallNs come from one extra
+	// instrumented run with the streamed exchange: the window used, the
+	// fraction of total exchange time hidden behind compute (0 when
+	// nothing was hidden), and the time streamed sends spent blocked on
+	// a full per-destination credit window (always 0 on the in-process
+	// runtime; nonzero on TCP mesh runs with a slow link). Additive
+	// fields; the regression gate ignores them.
+	AsyncWindow   int     `json:"async_window,omitempty"`
+	OverlapRatio  float64 `json:"overlap_ratio"`
+	CreditStallNs int64   `json:"credit_stall_ns"`
 }
 
 // BenchReport is the machine-readable benchmark summary soibench
@@ -155,6 +159,7 @@ func measureRun(n, ranks, segments, taps int) (BenchRun, error) {
 	asnap := asyncRec.Snapshot()
 	run.AsyncWindow = asyncWindow
 	run.OverlapRatio = asnap.Comm.OverlapRatio(asnap.Stages[instrument.StageExchange].Wall)
+	run.CreditStallNs = int64(asnap.Comm.CreditStall)
 	return run, nil
 }
 

@@ -143,4 +143,10 @@ func WriteStageReport(w io.Writer, label string, snap instrument.Snapshot) {
 			label, c.Messages, c.Bytes, c.Alltoalls, c.AlltoallBytes,
 			c.Retransmits, c.DeadlineEvents, c.ChecksumErrors)
 	}
+	if c.StreamChunks > 0 {
+		fmt.Fprintf(w, "%s:   stream: %d chunks, overlap %.0f%%, credit-stall %v\n",
+			label, c.StreamChunks,
+			100*c.OverlapRatio(snap.Stages[instrument.StageExchange].Wall),
+			c.CreditStall.Round(time.Microsecond))
+	}
 }

@@ -8,6 +8,7 @@ import (
 
 	"soifft/internal/exch"
 	"soifft/internal/instrument"
+	"soifft/internal/telemetry"
 	"soifft/internal/trace"
 )
 
@@ -325,6 +326,7 @@ type distExec struct {
 	window            int // streamed-exchange in-flight window (0 = blocking)
 	tr                *trace.Tracer
 	tid               trace.ID
+	tele              *telemetry.Plane
 	timed             bool
 	convBusy, segBusy atomic.Int64
 	dt                DistributedTimes
@@ -354,6 +356,7 @@ func (pl *Plan) newDistExec(ctx context.Context, cfg distOptions, c Comm, localO
 		pl: pl, c: c, rec: cfg.rec, rank: c.Rank(), r: r, workers: workers, nLocal: nLocal,
 		bpr: pl.mp / r, spr: p.P / r, chunk: (pl.mp / r) * (p.P / r),
 		window: cfg.window,
+		tele:   cfg.tele,
 		timed:  cfg.rec.Timing(),
 	}
 	e.tr, e.tid = pl.tracerFor(ctx)
@@ -487,8 +490,10 @@ func (e *distExec) phase4(chunkOf func(src int) []complex128, out []complex128) 
 }
 
 // report books the transform's stage observations into the plan's
-// recorder (no-op when instrumentation is off).
+// recorder (no-op when instrumentation is off) and, when a telemetry
+// plane is attached, ships the rank's refreshed stat frame to rank 0.
 func (e *distExec) report() {
+	defer e.tele.OnTransformEnd() // after the recorder sees this transform
 	rec := e.rec
 	if !rec.On() {
 		return

@@ -3,6 +3,7 @@ package core
 import (
 	"soifft/internal/exch"
 	"soifft/internal/instrument"
+	"soifft/internal/telemetry"
 )
 
 // CheckedComm is the optional per-peer checked-messaging capability a
@@ -33,6 +34,7 @@ type distOptions struct {
 	parity int
 	window int
 	rec    *instrument.Recorder
+	tele   *telemetry.Plane
 }
 
 // resolveDistOptions folds the options over the plan's defaults.
@@ -76,4 +78,13 @@ func WithAsyncWindow(w int) DistOption {
 // the run.
 func WithRecorder(rec *instrument.Recorder) DistOption {
 	return func(o *distOptions) { o.rec = rec }
+}
+
+// WithTelemetry attaches this rank's cluster telemetry plane: each
+// completed transform ships a fresh stat frame to rank 0 (one pointer
+// test on the execution path; nil leaves the run exactly as without the
+// option). The plane's lifetime belongs to the caller — the run only
+// notifies it.
+func WithTelemetry(p *telemetry.Plane) DistOption {
+	return func(o *distOptions) { o.tele = p }
 }

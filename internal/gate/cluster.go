@@ -1,0 +1,94 @@
+package gate
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+)
+
+// RollupSchema versions the gateway's fleet telemetry roll-up document.
+const RollupSchema = "soigate-cluster/v1"
+
+// ReplicaCluster is one replica's entry in the roll-up: the replica's
+// own /debug/cluster document (the soifft-cluster/v1 snapshot its
+// serving tier exports), or the reason it could not be fetched.
+type ReplicaCluster struct {
+	Addr     string          `json:"addr"`
+	State    string          `json:"state"`
+	Error    string          `json:"error,omitempty"`
+	Snapshot json.RawMessage `json:"snapshot,omitempty"`
+}
+
+// ClusterRollup is the /debug/cluster JSON document the gateway serves:
+// every replica's telemetry snapshot fetched at request time and merged
+// into one address-sorted fleet view, so one scrape of the gateway
+// shows each replica's per-stage profile and explainer findings.
+type ClusterRollup struct {
+	Schema string `json:"schema"`
+	// Gathered counts replicas that returned a snapshot.
+	Gathered int              `json:"gathered"`
+	Replicas []ReplicaCluster `json:"replicas"`
+}
+
+// ClusterRollup fetches every replica's /debug/cluster concurrently
+// (each GET bounded by the health-probe timeout) and merges the
+// results. The endpoint URL is derived from the replica's health URL —
+// both routes live on the same serving-tier metrics mux — so replicas
+// registered without one, and replicas whose serving tier is
+// uninstrumented (404), carry an explanatory error instead of a
+// snapshot.
+func (g *Gateway) ClusterRollup() ClusterRollup {
+	hc := &http.Client{Timeout: g.probeTimeout()}
+	reps := g.reg.all()
+	out := ClusterRollup{Schema: RollupSchema, Replicas: make([]ReplicaCluster, len(reps))}
+	var wg sync.WaitGroup
+	for i, r := range reps {
+		r.mu.Lock()
+		url := r.healthURL
+		state := r.state.String()
+		r.mu.Unlock()
+		rc := &out.Replicas[i]
+		rc.Addr, rc.State = r.addr, state
+		switch {
+		case url == "":
+			rc.Error = "no health url: cannot locate the replica's /debug/cluster"
+			continue
+		case !strings.HasSuffix(url, "/healthz"):
+			rc.Error = "cannot derive /debug/cluster from health url " + url
+			continue
+		}
+		wg.Add(1)
+		go func(rc *ReplicaCluster, url string) {
+			defer wg.Done()
+			resp, err := hc.Get(url)
+			if err != nil {
+				rc.Error = err.Error()
+				return
+			}
+			defer resp.Body.Close()
+			body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<22))
+			switch {
+			case err != nil:
+				rc.Error = err.Error()
+			case resp.StatusCode == http.StatusNotFound:
+				rc.Error = "replica serves no telemetry snapshot (uninstrumented)"
+			case resp.StatusCode != http.StatusOK:
+				rc.Error = fmt.Sprintf("cluster snapshot: unexpected status %d", resp.StatusCode)
+			case !json.Valid(body):
+				rc.Error = "cluster snapshot: invalid JSON"
+			default:
+				rc.Snapshot = body
+			}
+		}(rc, strings.TrimSuffix(url, "/healthz")+"/debug/cluster")
+	}
+	wg.Wait()
+	for i := range out.Replicas {
+		if out.Replicas[i].Snapshot != nil {
+			out.Gathered++
+		}
+	}
+	return out
+}

@@ -2,20 +2,25 @@ package gate_test
 
 import (
 	"context"
+	"encoding/json"
 	"net"
 	"net/http/httptest"
 	"os"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
 
 	"soifft"
+	"soifft/client"
 	"soifft/internal/faultnet"
 	"soifft/internal/gate"
 	"soifft/internal/loadgen"
 	"soifft/internal/serve"
+	"soifft/internal/signal"
+	"soifft/internal/telemetry"
 )
 
 // startReplica runs a real serve.Server on an ephemeral port with an
@@ -343,5 +348,56 @@ func TestGateChaosKillReplicaFailover(t *testing.T) {
 	}
 	if g.Metrics().Failovers() == 0 {
 		t.Error("failovers counter did not move despite the killed primary")
+	}
+}
+
+// TestGateClusterRollup: the gateway's /debug/cluster roll-up gathers
+// the instrumented replica's telemetry snapshot (fetched from the
+// /debug/cluster endpoint next to its /healthz) and reports the
+// uninstrumented replica with an explanatory error instead.
+func TestGateClusterRollup(t *testing.T) {
+	spInst, _ := startReplica(t, serve.Config{
+		Workers:    1,
+		Instrument: soifft.InstrumentTimers,
+	})
+	spBare, _ := startReplica(t, serve.Config{Workers: 1})
+
+	// One direct transform resolves an instrumented plan on the first
+	// replica, giving its serving tier something to snapshot.
+	c, err := client.Dial(spInst.Addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Transform(signal.Random(4096, 1), &client.Options{Segments: 8, Taps: 24}); err != nil {
+		t.Fatal(err)
+	}
+
+	g := startGateway(t, gate.Config{Replicas: []gate.ReplicaSpec{spInst, spBare}})
+	roll := g.ClusterRollup()
+	if roll.Schema != gate.RollupSchema || len(roll.Replicas) != 2 {
+		t.Fatalf("rollup schema=%q replicas=%d, want %q/2", roll.Schema, len(roll.Replicas), gate.RollupSchema)
+	}
+	if roll.Gathered != 1 {
+		t.Fatalf("rollup gathered %d snapshots, want 1:\n%+v", roll.Gathered, roll.Replicas)
+	}
+	for _, rc := range roll.Replicas {
+		switch rc.Addr {
+		case spInst.Addr:
+			var snap telemetry.ClusterSnapshot
+			if err := json.Unmarshal(rc.Snapshot, &snap); err != nil {
+				t.Fatalf("instrumented replica snapshot is not a cluster document: %v", err)
+			}
+			if snap.World != 1 || len(snap.Ranks) != 1 || snap.Ranks[0].Transforms == 0 {
+				t.Errorf("instrumented replica snapshot = world %d, %d ranks, %d transforms; want 1/1/>0",
+					snap.World, len(snap.Ranks), snap.Ranks[0].Transforms)
+			}
+		case spBare.Addr:
+			if rc.Snapshot != nil || !strings.Contains(rc.Error, "uninstrumented") {
+				t.Errorf("bare replica entry = %+v, want an uninstrumented error and no snapshot", rc)
+			}
+		default:
+			t.Errorf("rollup names unknown replica %q", rc.Addr)
+		}
 	}
 }

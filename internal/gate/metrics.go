@@ -194,6 +194,12 @@ func (m *Metrics) Handler() http.Handler {
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(m.RingSnapshot())
 	})
+	mux.HandleFunc("/debug/cluster", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(m.gw.ClusterRollup())
+	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		n, _ := m.gw.reg.healthyCount()
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")

@@ -137,6 +137,12 @@ type commCounters struct {
 	// span so reports can show both halves.
 	streamChunks     atomic.Int64
 	hiddenExchangeNs atomic.Int64
+
+	// creditStallNs is time streamed senders spent blocked on a full
+	// per-destination credit window — the producer outrunning the wire.
+	// It is the adaptive-window input: sustained stall means the window
+	// (or the link) is too small for the compute rate.
+	creditStallNs atomic.Int64
 }
 
 // Recorder accumulates observations. All methods are safe for concurrent
@@ -292,6 +298,16 @@ func (r *Recorder) AddHiddenExchange(d time.Duration) {
 	r.comm.hiddenExchangeNs.Add(int64(d))
 }
 
+// AddCreditStall accumulates time a streamed send spent blocked on a
+// full per-destination credit window (queued-but-unflushed chunks at the
+// window limit). Zero on transports whose sends complete synchronously.
+func (r *Recorder) AddCreditStall(d time.Duration) {
+	if r == nil || d <= 0 {
+		return
+	}
+	r.comm.creditStallNs.Add(int64(d))
+}
+
 // CountRetransmit records a transport-level retry (e.g. a mesh dial
 // retry while peers launch).
 func (r *Recorder) CountRetransmit() {
@@ -344,6 +360,7 @@ func (r *Recorder) Reset() {
 	r.comm.degraded.Store(0)
 	r.comm.streamChunks.Store(0)
 	r.comm.hiddenExchangeNs.Store(0)
+	r.comm.creditStallNs.Store(0)
 }
 
 // StageSnapshot is the point-in-time copy of one stage's counters.
@@ -400,6 +417,9 @@ type CommSnapshot struct {
 	// HiddenExchange is exchange wire time overlapped with compute and
 	// excluded from the StageExchange wall timer.
 	HiddenExchange time.Duration
+	// CreditStall is time streamed sends spent blocked on a full
+	// per-destination window — the adaptive-window signal.
+	CreditStall time.Duration
 }
 
 // OverlapRatio is the fraction of total exchange time hidden behind
@@ -457,6 +477,7 @@ func (r *Recorder) Snapshot() Snapshot {
 		DegradedTransforms: r.comm.degraded.Load(),
 		StreamChunks:       r.comm.streamChunks.Load(),
 		HiddenExchange:     time.Duration(r.comm.hiddenExchangeNs.Load()),
+		CreditStall:        time.Duration(r.comm.creditStallNs.Load()),
 	}
 	return s
 }

@@ -56,6 +56,13 @@ func WritePrometheus(w io.Writer, prefix string, labels map[string]string, s Sna
 	counter("comm_recovery_bytes_total", "", s.Comm.RecoveryBytes, "")
 	counter("comm_reconstructions_total", "", s.Comm.Reconstructions, "")
 	counter("comm_degraded_transforms_total", "", s.Comm.DegradedTransforms, "")
+	counter("comm_stream_chunks_total", "", s.Comm.StreamChunks, "")
+	fmt.Fprintf(w, "# TYPE %s_comm_hidden_exchange_seconds_total counter\n", prefix)
+	fmt.Fprintf(w, "%s_comm_hidden_exchange_seconds_total%s %.9f\n",
+		prefix, mergeLabels(base, ""), s.Comm.HiddenExchange.Seconds())
+	fmt.Fprintf(w, "# TYPE %s_comm_credit_stall_seconds_total counter\n", prefix)
+	fmt.Fprintf(w, "%s_comm_credit_stall_seconds_total%s %.9f\n",
+		prefix, mergeLabels(base, ""), s.Comm.CreditStall.Seconds())
 }
 
 // formatLabels renders a label map in sorted order without braces

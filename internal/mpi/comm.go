@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"soifft/internal/exch"
+	"soifft/internal/telemetry"
 )
 
 // Comm is one rank's handle on the world. All methods must be called only
@@ -61,15 +62,20 @@ func (c *Comm) Sendrecv(to, sendTag int, data any, from, recvTag int) any {
 }
 
 // box selects the FIFO for one (src, dst, tag) triple: the streamed
-// exchange's tag band gets its own per-pair mailbox, because its
-// receiver goroutines run concurrently with ordinary receives (halo,
-// parity) on the same pair and a shared FIFO would let either consumer
-// pop the other's message.
+// exchange's tag band and the telemetry control tag each get their own
+// per-pair mailbox, because their consumers (stream receiver
+// goroutines, rank 0's telemetry drain) run concurrently with ordinary
+// receives (halo, parity) on the same pair and a shared FIFO would let
+// any consumer pop another's message.
 func (w *World) box(src, dst, tag int) *mailbox {
-	if tag <= exch.TagBase {
+	switch {
+	case tag <= exch.TagBase:
 		return w.sboxes[src*w.size+dst]
+	case tag == telemetry.TagStat:
+		return w.tboxes[src*w.size+dst]
+	default:
+		return w.boxes[src*w.size+dst]
 	}
-	return w.boxes[src*w.size+dst]
 }
 
 // send counts every message at the wire level (collectives included) and

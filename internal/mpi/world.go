@@ -66,6 +66,7 @@ type World struct {
 	size   int
 	boxes  []*mailbox // boxes[src*size+dst], ordinary tag space
 	sboxes []*mailbox // same geometry, streamed-exchange band (tag <= exch.TagBase)
+	tboxes []*mailbox // same geometry, telemetry stat frames (tag telemetry.TagStat)
 
 	abortOnce sync.Once
 	aborted   atomic.Bool
@@ -86,10 +87,16 @@ func NewWorld(size int) (*World, error) {
 	if size <= 0 {
 		return nil, fmt.Errorf("mpi: world size must be positive, got %d", size)
 	}
-	w := &World{size: size, boxes: make([]*mailbox, size*size), sboxes: make([]*mailbox, size*size)}
+	w := &World{
+		size:   size,
+		boxes:  make([]*mailbox, size*size),
+		sboxes: make([]*mailbox, size*size),
+		tboxes: make([]*mailbox, size*size),
+	}
 	for i := range w.boxes {
 		w.boxes[i] = newMailbox()
 		w.sboxes[i] = newMailbox()
+		w.tboxes[i] = newMailbox()
 	}
 	return w, nil
 }
@@ -154,6 +161,9 @@ func (w *World) abort() {
 			b.kill()
 		}
 		for _, b := range w.sboxes {
+			b.kill()
+		}
+		for _, b := range w.tboxes {
 			b.kill()
 		}
 	})

@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"soifft/internal/instrument"
+	"soifft/internal/telemetry"
 	"soifft/internal/trace"
 )
 
@@ -418,7 +419,9 @@ func (p *Proc) SendChecked(to, tag int, data any) error {
 	if to < 0 || to >= p.size || to == p.rank {
 		panic(fmt.Sprintf("mpinet: send to invalid rank %d", to))
 	}
-	if err := p.peers[to].send(encodeFrame(tag, buf)); err != nil {
+	pe := p.peers[to]
+	if err := pe.send(encodeFrame(tag, buf)); err != nil {
+		pe.wire.sendErrors.Add(1)
 		return &TransportError{Rank: to, Op: "send", Err: err}
 	}
 	return nil
@@ -577,8 +580,25 @@ const (
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
-// heartbeatFrame is the one (empty) frame every idle link repeats.
-var heartbeatFrame = encodeFrame(tagHeartbeat, nil)
+// epoch anchors the monotonic timestamps heartbeat pings carry. Only
+// the stamping process ever interprets them (the peer reflects the bits
+// verbatim), so no cross-host clock agreement is needed.
+var epoch = time.Now()
+
+func nowNs() int64 { return int64(time.Since(epoch)) }
+
+// heartbeatFrame encodes one keep-alive: a single element whose real
+// bits carry the ping's monotonic timestamp and whose imaginary part
+// marks it as ping (0) or echo (1). The sender of the ping turns the
+// reflected timestamp into the link's RTT sample. Legacy empty
+// keep-alives (count 0) remain valid and are dropped silently.
+func heartbeatFrame(ts int64, echo bool) []byte {
+	marker := 0.0
+	if echo {
+		marker = 1
+	}
+	return encodeFrame(tagHeartbeat, []complex128{complex(math.Float64frombits(uint64(ts)), marker)})
+}
 
 // encodeFrame lays out the header and payload and stamps the checksum.
 func encodeFrame(tag int, data []complex128) []byte {
@@ -605,10 +625,28 @@ type packet struct {
 // flush notification, invoked by the writer after the frame's last byte
 // reached the socket. The callback is the windowed stream's credit
 // release — it is never invoked if the link dies first (senders observe
-// the death through pe.dead instead).
+// the death through pe.dead instead). Control frames (heartbeats) are
+// excluded from the data-frame counters and flush timing.
 type outFrame struct {
 	buf     []byte
 	flushed func()
+	control bool
+}
+
+// wireStats is one directed link's counters — the per-peer split of
+// netStats that telemetry.LinkStat is built from.
+type wireStats struct {
+	framesSent, bytesSent         atomic.Int64
+	framesReceived, bytesReceived atomic.Int64
+	// flushNs is wall time the writer spent pushing this link's data
+	// frames into the socket: its effective service time.
+	flushNs atomic.Int64
+	// creditStallNs is time streamed sends to this peer spent blocked on
+	// a full credit window.
+	creditStallNs atomic.Int64
+	// rttNs holds the latest heartbeat echo round-trip sample.
+	rttNs      atomic.Int64
+	sendErrors atomic.Int64
 }
 
 type peer struct {
@@ -617,7 +655,13 @@ type peer struct {
 	out  chan outFrame
 	box  *netMailbox
 	sbox *netMailbox // streamed-exchange chunk frames (tag band <= exch.TagBase)
+	tbox *netMailbox // telemetry stat frames (tag telemetry.TagStat)
 	pr   *Proc       // back-reference for the I/O deadline and wire counters
+	wire wireStats
+	// echo hands a received ping's timestamp to the writer for
+	// reflection. It bypasses pe.out, which close/shutdown may have
+	// closed while reads are still draining.
+	echo chan int64
 
 	outOnce   sync.Once // closes out exactly once (close and shutdown share it)
 	closeOnce sync.Once
@@ -635,7 +679,9 @@ func newPeer(conn net.Conn, rank int, pr *Proc) *peer {
 		out:     make(chan outFrame, 4096),
 		box:     newNetMailbox(),
 		sbox:    newNetMailbox(),
+		tbox:    newNetMailbox(),
 		pr:      pr,
+		echo:    make(chan int64, 1),
 		drained: make(chan struct{}),
 		dead:    make(chan struct{}),
 	}
@@ -655,6 +701,7 @@ func (pe *peer) fail(cause error) {
 		close(pe.dead)
 		pe.box.kill(cause)
 		pe.sbox.kill(cause)
+		pe.tbox.kill(cause)
 		_ = pe.conn.Close()
 	})
 }
@@ -737,16 +784,23 @@ func (pe *peer) writeLoop() {
 			select {
 			case fr, ok = <-pe.out:
 				t.Stop()
+			case ts := <-pe.echo:
+				t.Stop()
+				fr, ok = outFrame{buf: heartbeatFrame(ts, true), control: true}, true
 			case <-t.C:
-				fr, ok = outFrame{buf: heartbeatFrame}, true
+				fr, ok = outFrame{buf: heartbeatFrame(nowNs(), false), control: true}, true
 			}
 		} else {
 			// No deadline: poll so a later SetIOTimeout still takes
-			// effect on an idle link (no heartbeats are sent meanwhile).
+			// effect on an idle link (no heartbeats are sent meanwhile,
+			// but pings from a deadline-armed peer are still echoed).
 			t := time.NewTimer(500 * time.Millisecond)
 			select {
 			case fr, ok = <-pe.out:
 				t.Stop()
+			case ts := <-pe.echo:
+				t.Stop()
+				fr, ok = outFrame{buf: heartbeatFrame(ts, true), control: true}, true
 			case <-t.C:
 				continue
 			}
@@ -754,6 +808,7 @@ func (pe *peer) writeLoop() {
 		if !ok {
 			return
 		}
+		start := time.Now()
 		if err := pe.writeFrame(fr.buf); err != nil {
 			pe.fail(classify(err, pe.timeout()))
 			for range pe.out { // drain until close() closes the channel
@@ -763,17 +818,38 @@ func (pe *peer) writeLoop() {
 		if fr.flushed != nil {
 			fr.flushed()
 		}
-		if isHeartbeat(fr.buf) {
+		if fr.control {
 			pe.pr.stats.heartbeatsSent.Add(1)
 		} else {
 			pe.pr.stats.framesSent.Add(1)
 			pe.pr.stats.bytesSent.Add(int64(len(fr.buf)))
+			pe.wire.framesSent.Add(1)
+			pe.wire.bytesSent.Add(int64(len(fr.buf)))
+			pe.wire.flushNs.Add(int64(time.Since(start)))
 		}
 	}
 }
 
-// isHeartbeat identifies the shared keep-alive frame without decoding.
-func isHeartbeat(frame []byte) bool { return &frame[0] == &heartbeatFrame[0] }
+// handleHeartbeat reacts to a validated keep-alive payload: a ping is
+// reflected back through the writer's echo slot (never the closable out
+// queue), an echo closes the loop into an RTT sample. The empty legacy
+// form is dropped without a reply.
+func (pe *peer) handleHeartbeat(raw []byte) {
+	if len(raw) < 16 {
+		return
+	}
+	ts := int64(binary.LittleEndian.Uint64(raw[:8]))
+	if binary.LittleEndian.Uint64(raw[8:16]) == 0 { // imag 0: ping
+		select {
+		case pe.echo <- ts:
+		default: // an echo is already queued; this ping's sample is lost
+		}
+		return
+	}
+	if rtt := nowNs() - ts; rtt > 0 {
+		pe.wire.rttNs.Store(rtt)
+	}
+}
 
 // readFull fills buf in deadline-refreshed chunks.
 func (pe *peer) readFull(buf []byte) error {
@@ -825,23 +901,30 @@ func (pe *peer) readLoop() {
 			return
 		}
 		if tag == tagHeartbeat {
+			pe.handleHeartbeat(raw)
 			continue
 		}
 		pe.pr.stats.framesReceived.Add(1)
 		pe.pr.stats.bytesReceived.Add(int64(frameHdrLen + len(raw)))
+		pe.wire.framesReceived.Add(1)
+		pe.wire.bytesReceived.Add(int64(frameHdrLen + len(raw)))
 		data := make([]complex128, count)
 		for i := range data {
 			re := math.Float64frombits(binary.LittleEndian.Uint64(raw[i*16:]))
 			im := math.Float64frombits(binary.LittleEndian.Uint64(raw[i*16+8:]))
 			data[i] = complex(re, im)
 		}
-		// Stream chunks land in their own mailbox: the windowed
-		// exchange's receiver goroutines run concurrently with ordinary
-		// receives (halo, parity) on the same link, and a shared FIFO
-		// would let either consumer pop the other's frame.
-		if isStreamTag(tag) {
+		// Stream chunks and telemetry frames land in their own
+		// mailboxes: their consumers (the windowed exchange's receiver
+		// goroutines, rank 0's telemetry drain) run concurrently with
+		// ordinary receives (halo, parity) on the same link, and a
+		// shared FIFO would let any consumer pop another's frame.
+		switch {
+		case isStreamTag(tag):
 			pe.sbox.put(packet{tag: tag, data: data})
-		} else {
+		case tag == telemetry.TagStat:
+			pe.tbox.put(packet{tag: tag, data: data})
+		default:
 			pe.box.put(packet{tag: tag, data: data})
 		}
 	}

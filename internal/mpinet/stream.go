@@ -2,6 +2,7 @@ package mpinet
 
 import (
 	"fmt"
+	"time"
 
 	"soifft/internal/exch"
 )
@@ -64,11 +65,23 @@ func (s *netStream) Send(dst, idx int, data []complex128) error {
 	pe := p.peers[dst]
 	cr := s.credit[dst]
 	// Acquire a window slot: backpressure against the link's real flush
-	// progress. A dying link wakes the wait with its typed cause.
+	// progress. A dying link wakes the wait with its typed cause. When
+	// the window is full the blocked time is booked as credit-stall —
+	// per destination on the link and in aggregate on the recorder — the
+	// producer-outran-this-link signal the explainer attributes excess
+	// exchange time to, and the input a future adaptive window reads.
 	select {
 	case cr <- struct{}{}:
-	case <-pe.dead:
-		return &TransportError{Rank: dst, Op: "stream-send", Err: pe.failure()}
+	default:
+		start := time.Now()
+		select {
+		case cr <- struct{}{}:
+			d := time.Since(start)
+			pe.wire.creditStallNs.Add(int64(d))
+			p.rec.Load().AddCreditStall(d)
+		case <-pe.dead:
+			return &TransportError{Rank: dst, Op: "stream-send", Err: pe.failure()}
+		}
 	}
 	if err := pe.sendFrame(encodeFrame(exch.Tag(idx), wire), func() { <-cr }); err != nil {
 		return &TransportError{Rank: dst, Op: "stream-send", Err: err}

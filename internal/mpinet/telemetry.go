@@ -1,0 +1,53 @@
+package mpinet
+
+import (
+	"fmt"
+
+	"soifft/internal/telemetry"
+)
+
+// Telemetry capabilities: together with Rank/Size/SendChecked these make
+// *Proc satisfy telemetry.Conn, telemetry.Receiver and
+// telemetry.LinkStatser, so the cluster plane discovers everything it
+// needs from the transport handle by type assertion.
+
+// RecvTelemetry blocks for the next stat frame from rank `from`. Stat
+// frames ride the dedicated telemetry mailbox (tag telemetry.TagStat),
+// so this wait never competes with halo, parity, collective or stream
+// receives on the same link. It waits without a deadline — frames are
+// sparse and their absence is not a fault — and returns the link's
+// typed death cause once the peer is gone, which is the drain
+// goroutine's signal to mark the rank stale.
+func (p *Proc) RecvTelemetry(from int) ([]complex128, error) {
+	if from < 0 || from >= p.size || from == p.rank {
+		panic(fmt.Sprintf("mpinet: recv telemetry from invalid rank %d", from))
+	}
+	pe := p.peers[from]
+	pkt, err := pe.tbox.get(0)
+	if err != nil {
+		return nil, &TransportError{Rank: from, Op: "recv-telemetry", Err: err}
+	}
+	return pkt.data, nil
+}
+
+// LinkStats snapshots every live link's wire counters, sender-side.
+func (p *Proc) LinkStats() []telemetry.LinkStat {
+	out := make([]telemetry.LinkStat, 0, p.size-1)
+	for _, pe := range p.peers {
+		if pe == nil {
+			continue
+		}
+		out = append(out, telemetry.LinkStat{
+			Peer:           pe.rank,
+			FramesSent:     pe.wire.framesSent.Load(),
+			BytesSent:      pe.wire.bytesSent.Load(),
+			FramesReceived: pe.wire.framesReceived.Load(),
+			BytesReceived:  pe.wire.bytesReceived.Load(),
+			FlushNs:        pe.wire.flushNs.Load(),
+			CreditStallNs:  pe.wire.creditStallNs.Load(),
+			HeartbeatRTTNs: pe.wire.rttNs.Load(),
+			SendErrors:     pe.wire.sendErrors.Load(),
+		})
+	}
+	return out
+}

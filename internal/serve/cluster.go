@@ -1,0 +1,47 @@
+package serve
+
+import (
+	"soifft/internal/telemetry"
+)
+
+// ClusterSnapshot assembles the serving tier's single-replica telemetry
+// view: the replica is a world of one rank whose counters sum over
+// every resident instrumented plan, run through the same aggregator and
+// explainer as a distributed run so /debug/cluster serves the identical
+// document shape on a replica and on soinode rank 0 — and so a gateway
+// can merge replica snapshots into its fleet roll-up. Returns nil when
+// no resident plan is instrumented (the endpoint answers 404).
+func (m *Metrics) ClusterSnapshot() *telemetry.ClusterSnapshot {
+	if m.plans == nil {
+		return nil
+	}
+	f := &telemetry.StatFrame{World: 1, Seq: 1, Shape: telemetry.Shape{Parity: -1}}
+	var shapeTransforms int64 = -1
+	for _, cp := range m.plans() {
+		rec := cp.Plan.Internal().Recorder()
+		if !rec.On() {
+			continue
+		}
+		snap := rec.Snapshot()
+		f.Accumulate(snap)
+		// The frame carries one shape; report the busiest plan's.
+		if snap.Transforms > shapeTransforms {
+			shapeTransforms = snap.Transforms
+			f.Shape = telemetry.Shape{
+				N:        cp.Plan.N(),
+				Segments: cp.Plan.Segments(),
+				Taps:     cp.Plan.Taps(),
+				Beta:     cp.Plan.Oversampling(),
+				Parity:   -1,
+			}
+		}
+	}
+	if shapeTransforms < 0 {
+		return nil
+	}
+	agg := telemetry.NewAggregator(1)
+	agg.Observe(f)
+	s := agg.Snapshot()
+	telemetry.Explain(s)
+	return s
+}

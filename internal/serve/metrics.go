@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"soifft"
+	"soifft/internal/telemetry"
 )
 
 // Metrics is the server's live instrumentation: monotonic counters
@@ -286,6 +287,7 @@ func (m *Metrics) Handler() http.Handler {
 		_ = json.NewEncoder(w).Encode(h)
 	})
 	mux.HandleFunc("/metrics", m.writePrometheus)
+	mux.Handle("/debug/cluster", telemetry.Handler(m.ClusterSnapshot))
 	mux.HandleFunc("/debug/flight", func(w http.ResponseWriter, r *http.Request) {
 		if m.flight == nil {
 			http.Error(w, "tracing is not enabled", http.StatusNotFound)

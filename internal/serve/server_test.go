@@ -17,6 +17,7 @@ import (
 	"soifft/client"
 	"soifft/internal/serve"
 	"soifft/internal/signal"
+	"soifft/internal/telemetry"
 )
 
 // startServer binds an ephemeral port and runs the accept loop,
@@ -468,6 +469,66 @@ func TestPrometheusEndpoint(t *testing.T) {
 	res.Body.Close()
 	if res.StatusCode != 200 {
 		t.Errorf("/debug/pprof/cmdline status %d", res.StatusCode)
+	}
+}
+
+// TestDebugClusterEndpoint: /debug/cluster answers 404 on an
+// uninstrumented server and serves the single-replica
+// soifft-cluster/v1 snapshot — one rank carrying the summed plan
+// counters — once the server instruments its plans.
+func TestDebugClusterEndpoint(t *testing.T) {
+	const n = 512
+	bare := startServer(t, serve.Config{MaxLinger: time.Millisecond})
+	cb := dial(t, bare)
+	if _, err := cb.Transform(signal.Random(n, 1), &client.Options{Segments: 4, Taps: 24}); err != nil {
+		t.Fatal(err)
+	}
+	tb := httptest.NewServer(bare.Metrics().Handler())
+	defer tb.Close()
+	res, err := tb.Client().Get(tb.URL + "/debug/cluster")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if res.StatusCode != 404 {
+		t.Errorf("uninstrumented /debug/cluster status = %d, want 404", res.StatusCode)
+	}
+
+	inst := startServer(t, serve.Config{
+		MaxLinger:  time.Millisecond,
+		Instrument: soifft.InstrumentTimers,
+	})
+	ci := dial(t, inst)
+	if _, err := ci.Transform(signal.Random(n, 1), &client.Options{Segments: 4, Taps: 24}); err != nil {
+		t.Fatal(err)
+	}
+	ti := httptest.NewServer(inst.Metrics().Handler())
+	defer ti.Close()
+	res, err = ti.Client().Get(ti.URL + "/debug/cluster")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	if res.StatusCode != 200 {
+		t.Fatalf("instrumented /debug/cluster status = %d, want 200", res.StatusCode)
+	}
+	var snap telemetry.ClusterSnapshot
+	if err := json.NewDecoder(res.Body).Decode(&snap); err != nil {
+		t.Fatalf("cluster body is not JSON: %v", err)
+	}
+	if snap.Schema != telemetry.SnapshotSchema || snap.World != 1 || len(snap.Ranks) != 1 {
+		t.Fatalf("snapshot schema=%q world=%d ranks=%d, want %q/1/1",
+			snap.Schema, snap.World, len(snap.Ranks), telemetry.SnapshotSchema)
+	}
+	r0 := snap.Ranks[0]
+	if !r0.Reported || r0.Transforms != 1 {
+		t.Errorf("rank 0 reported=%v transforms=%d, want true/1", r0.Reported, r0.Transforms)
+	}
+	if r0.StageNs["convolve"] <= 0 {
+		t.Errorf("convolve stage ns = %d, want > 0 with timers on", r0.StageNs["convolve"])
+	}
+	if snap.Shape.N != n {
+		t.Errorf("snapshot shape N = %d, want %d", snap.Shape.N, n)
 	}
 }
 

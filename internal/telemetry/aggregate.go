@@ -1,0 +1,244 @@
+package telemetry
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"soifft/internal/instrument"
+)
+
+// RankStat is one rank's row of the cluster snapshot.
+type RankStat struct {
+	Rank int `json:"rank"`
+	// Reported is false while no frame from the rank has arrived yet.
+	Reported bool `json:"reported"`
+	// Final is set once the rank shipped its end-of-run frame.
+	Final bool `json:"final,omitempty"`
+	// Stale marks a rank whose stream ended abnormally (link death,
+	// decode failure, missed final) — its counters are the last good
+	// frame, frozen.
+	Stale       bool   `json:"stale,omitempty"`
+	StaleReason string `json:"stale_reason,omitempty"`
+	Seq         uint64 `json:"seq"`
+
+	Transforms   int64            `json:"transforms"`
+	StageNs      map[string]int64 `json:"stage_ns"`
+	Comm         CommStats        `json:"comm"`
+	OverlapRatio float64          `json:"overlap_ratio"`
+	Links        []LinkStat       `json:"links,omitempty"`
+}
+
+// StagePercentiles is the fleet distribution of one stage's wall time.
+type StagePercentiles struct {
+	Stage string `json:"stage"`
+	P50Ns int64  `json:"p50_ns"`
+	P90Ns int64  `json:"p90_ns"`
+	MaxNs int64  `json:"max_ns"`
+	// MaxRank is the straggler: the rank holding MaxNs.
+	MaxRank int `json:"max_rank"`
+}
+
+// FleetStats summarizes the cluster-wide distributions.
+type FleetStats struct {
+	Stages []StagePercentiles `json:"stages"`
+	// LinkBandwidthP50Bps is the median effective flush bandwidth over
+	// links that carried traffic — the calibration the explainer prices
+	// expected wire times with.
+	LinkBandwidthP50Bps float64 `json:"link_bandwidth_p50_bps"`
+	// OverlapRatioP50 is the median exchange-hiding fraction.
+	OverlapRatioP50 float64 `json:"overlap_ratio_p50"`
+}
+
+// ClusterSnapshot is rank 0's aggregate view of one distributed run:
+// the per-rank × per-stage matrix, the per-link wire table, fleet
+// percentiles, and (once Explain ran) the ranked findings. It is the
+// JSON document /debug/cluster serves and -cluster-json writes.
+type ClusterSnapshot struct {
+	Schema string `json:"schema"`
+	// TakenUnixNs stamps the aggregation moment.
+	TakenUnixNs int64      `json:"taken_unix_ns"`
+	World       int        `json:"world"`
+	Shape       Shape      `json:"shape"`
+	Ranks       []RankStat `json:"ranks"`
+	Fleet       FleetStats `json:"fleet"`
+	Findings    []Finding  `json:"findings"`
+}
+
+// SnapshotSchema identifies the ClusterSnapshot JSON document version.
+const SnapshotSchema = "soifft-cluster/v1"
+
+// rankState is the aggregator's per-rank record.
+type rankState struct {
+	frame       *StatFrame
+	final       bool
+	stale       bool
+	staleReason string
+}
+
+// Aggregator folds stat frames into the live cluster view. All methods
+// are safe for concurrent use (the root's per-peer drain goroutines and
+// snapshot readers share it).
+type Aggregator struct {
+	mu    sync.Mutex
+	world int
+	shape Shape
+	seen  bool
+	ranks []rankState
+}
+
+// NewAggregator sizes the aggregate for a world of R ranks.
+func NewAggregator(world int) *Aggregator {
+	if world < 1 {
+		world = 1
+	}
+	return &Aggregator{world: world, ranks: make([]rankState, world)}
+}
+
+// Observe folds one frame in; frames with stale sequence numbers (at or
+// below the newest already seen for the rank) are dropped, so loss and
+// reordering cannot roll counters backwards.
+func (a *Aggregator) Observe(f *StatFrame) {
+	if f == nil || f.Rank < 0 || f.Rank >= a.world {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	st := &a.ranks[f.Rank]
+	if st.frame != nil && f.Seq <= st.frame.Seq {
+		return
+	}
+	st.frame = f
+	if f.Final {
+		st.final = true
+	}
+	if !a.seen {
+		a.shape = f.Shape
+		a.seen = true
+	}
+}
+
+// MarkStale freezes a rank at its last good frame: its stream ended
+// abnormally (link death, decode failure, missed final frame). The
+// snapshot reports the rank stale instead of the aggregation hanging on
+// it. A rank that later turns out to be fine (a final frame arrives) is
+// un-staled by Observe only in sequence order, so MarkStale after the
+// final frame is a no-op in practice.
+func (a *Aggregator) MarkStale(rank int, reason string) {
+	if rank < 0 || rank >= a.world {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	st := &a.ranks[rank]
+	if st.final {
+		return // the rank completed; a post-final link teardown is normal
+	}
+	if !st.stale {
+		st.stale = true
+		st.staleReason = reason
+	}
+}
+
+// Snapshot assembles the current cluster view. Ranks that never
+// reported appear with Reported=false; stale ranks keep their frozen
+// counters and carry the stale reason.
+func (a *Aggregator) Snapshot() *ClusterSnapshot {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	s := &ClusterSnapshot{
+		Schema:      SnapshotSchema,
+		TakenUnixNs: time.Now().UnixNano(),
+		World:       a.world,
+		Shape:       a.shape,
+		Ranks:       make([]RankStat, a.world),
+	}
+	for r := range a.ranks {
+		st := &a.ranks[r]
+		rs := RankStat{Rank: r, Stale: st.stale, StaleReason: st.staleReason}
+		if f := st.frame; f != nil {
+			rs.Reported = true
+			rs.Final = st.final
+			rs.Seq = f.Seq
+			rs.Transforms = f.Transforms
+			rs.StageNs = make(map[string]int64, int(instrument.NumStages))
+			for i := 0; i < int(instrument.NumStages); i++ {
+				rs.StageNs[instrument.Stage(i).String()] = f.StageNs[i]
+			}
+			rs.Comm = f.Comm
+			rs.OverlapRatio = f.OverlapRatio()
+			rs.Links = append([]LinkStat(nil), f.Links...)
+		}
+		s.Ranks[r] = rs
+	}
+	s.Fleet = fleetStats(s)
+	return s
+}
+
+// fleetStats computes the cross-rank distributions of a snapshot.
+func fleetStats(s *ClusterSnapshot) FleetStats {
+	var fs FleetStats
+	for i := 0; i < int(instrument.NumStages); i++ {
+		name := instrument.Stage(i).String()
+		var vals []int64
+		maxRank, maxNs := -1, int64(0)
+		for _, r := range s.Ranks {
+			if !r.Reported {
+				continue
+			}
+			v := r.StageNs[name]
+			vals = append(vals, v)
+			if v > maxNs {
+				maxNs, maxRank = v, r.Rank
+			}
+		}
+		if len(vals) == 0 {
+			continue
+		}
+		fs.Stages = append(fs.Stages, StagePercentiles{
+			Stage:   name,
+			P50Ns:   percentile(vals, 0.50),
+			P90Ns:   percentile(vals, 0.90),
+			MaxNs:   maxNs,
+			MaxRank: maxRank,
+		})
+	}
+	var bws []float64
+	var overlaps []int64
+	for _, r := range s.Ranks {
+		if !r.Reported {
+			continue
+		}
+		overlaps = append(overlaps, int64(r.OverlapRatio*1e9))
+		for _, l := range r.Links {
+			if bw := l.BandwidthBps(); bw > 0 {
+				bws = append(bws, bw)
+			}
+		}
+	}
+	if len(bws) > 0 {
+		sort.Float64s(bws)
+		fs.LinkBandwidthP50Bps = bws[len(bws)/2]
+	}
+	if len(overlaps) > 0 {
+		fs.OverlapRatioP50 = float64(percentile(overlaps, 0.50)) / 1e9
+	}
+	return fs
+}
+
+// percentile returns the p-quantile (nearest-rank) of vals; vals is
+// sorted in place.
+func percentile(vals []int64, p float64) int64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	idx := int(p * float64(len(vals)-1))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(vals) {
+		idx = len(vals) - 1
+	}
+	return vals[idx]
+}

@@ -1,0 +1,182 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"time"
+
+	"soifft/internal/instrument"
+)
+
+// Handler serves the live cluster snapshot as JSON (the /debug/cluster
+// endpoint). snap is called per request; a nil snapshot (non-root rank,
+// plane off) answers 404 so probes can distinguish "no plane" from an
+// empty cluster.
+func Handler(snap func() *ClusterSnapshot) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		s := snap()
+		if s == nil {
+			http.Error(w, "cluster telemetry not aggregated on this rank", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(s)
+	})
+}
+
+// WritePrometheus renders the cluster snapshot in the Prometheus text
+// exposition format, complementing instrument.WritePrometheus's
+// single-rank series with per-rank, per-link and findings gauges.
+func WritePrometheus(w io.Writer, prefix string, s *ClusterSnapshot) {
+	if s == nil {
+		return
+	}
+	if prefix == "" {
+		prefix = "soifft"
+	}
+	fmt.Fprintf(w, "# TYPE %s_cluster_world gauge\n%s_cluster_world %d\n", prefix, prefix, s.World)
+
+	fmt.Fprintf(w, "# TYPE %s_cluster_rank_up gauge\n", prefix)
+	for _, r := range s.Ranks {
+		up := 0
+		if r.Reported && !r.Stale {
+			up = 1
+		}
+		fmt.Fprintf(w, "%s_cluster_rank_up{rank=\"%d\"} %d\n", prefix, r.Rank, up)
+	}
+
+	fmt.Fprintf(w, "# TYPE %s_cluster_stage_seconds gauge\n", prefix)
+	for _, r := range s.Ranks {
+		if !r.Reported {
+			continue
+		}
+		for i := 0; i < int(instrument.NumStages); i++ {
+			name := instrument.Stage(i).String()
+			fmt.Fprintf(w, "%s_cluster_stage_seconds{rank=\"%d\",stage=%q} %.9f\n",
+				prefix, r.Rank, name, time.Duration(r.StageNs[name]).Seconds())
+		}
+	}
+
+	fmt.Fprintf(w, "# TYPE %s_cluster_overlap_ratio gauge\n", prefix)
+	for _, r := range s.Ranks {
+		if r.Reported {
+			fmt.Fprintf(w, "%s_cluster_overlap_ratio{rank=\"%d\"} %.6f\n", prefix, r.Rank, r.OverlapRatio)
+		}
+	}
+
+	fmt.Fprintf(w, "# TYPE %s_cluster_link_bytes gauge\n", prefix)
+	fmt.Fprintf(w, "# TYPE %s_cluster_link_flush_seconds gauge\n", prefix)
+	fmt.Fprintf(w, "# TYPE %s_cluster_link_credit_stall_seconds gauge\n", prefix)
+	for _, r := range s.Ranks {
+		for _, l := range r.Links {
+			lbl := fmt.Sprintf("{src=\"%d\",dst=\"%d\"}", r.Rank, l.Peer)
+			fmt.Fprintf(w, "%s_cluster_link_bytes%s %d\n", prefix, lbl, l.BytesSent)
+			fmt.Fprintf(w, "%s_cluster_link_flush_seconds%s %.9f\n", prefix, lbl, time.Duration(l.FlushNs).Seconds())
+			fmt.Fprintf(w, "%s_cluster_link_credit_stall_seconds%s %.9f\n", prefix, lbl, time.Duration(l.CreditStallNs).Seconds())
+		}
+	}
+
+	fmt.Fprintf(w, "# TYPE %s_cluster_findings gauge\n", prefix)
+	byKind := map[string]int{}
+	for _, f := range s.Findings {
+		byKind[f.Kind]++
+	}
+	kinds := make([]string, 0, len(byKind))
+	for k := range byKind {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	for _, k := range kinds {
+		fmt.Fprintf(w, "%s_cluster_findings{kind=%q} %d\n", prefix, k, byKind[k])
+	}
+}
+
+// WriteText renders the snapshot as the human-readable watch view:
+// the per-rank stage matrix, the busiest links, and the findings.
+func WriteText(w io.Writer, s *ClusterSnapshot) {
+	if s == nil {
+		fmt.Fprintln(w, "cluster: no snapshot (telemetry plane off or non-root rank)")
+		return
+	}
+	sh := s.Shape
+	fmt.Fprintf(w, "cluster: world %d  N=%d P=%d B=%d beta=%.2f window=%d parity=%d\n",
+		s.World, sh.N, sh.Segments, sh.Taps, sh.Beta, sh.Window, sh.Parity)
+
+	fmt.Fprintf(w, "%-5s %-6s", "rank", "xforms")
+	for i := 0; i < int(instrument.NumStages); i++ {
+		fmt.Fprintf(w, " %-10s", instrument.Stage(i).String())
+	}
+	fmt.Fprintf(w, " %-7s %-10s %s\n", "overlap", "stall", "status")
+	for _, r := range s.Ranks {
+		status := "ok"
+		switch {
+		case !r.Reported:
+			status = "silent"
+		case r.Stale:
+			status = "STALE"
+		case r.Final:
+			status = "final"
+		}
+		if !r.Reported {
+			fmt.Fprintf(w, "%-5d %-6s%s %s\n", r.Rank, "-", pad("", int(instrument.NumStages)*11+19), status)
+			continue
+		}
+		fmt.Fprintf(w, "%-5d %-6d", r.Rank, r.Transforms)
+		for i := 0; i < int(instrument.NumStages); i++ {
+			d := time.Duration(r.StageNs[instrument.Stage(i).String()])
+			fmt.Fprintf(w, " %-10s", d.Round(time.Microsecond))
+		}
+		fmt.Fprintf(w, " %-7s %-10s %s\n",
+			fmt.Sprintf("%.0f%%", r.OverlapRatio*100),
+			time.Duration(r.Comm.CreditStallNs).Round(time.Microsecond), status)
+	}
+
+	type link struct {
+		src int
+		l   LinkStat
+	}
+	var links []link
+	for _, r := range s.Ranks {
+		for _, l := range r.Links {
+			if l.BytesSent > 0 {
+				links = append(links, link{r.Rank, l})
+			}
+		}
+	}
+	sort.Slice(links, func(i, j int) bool { return links[i].l.FlushNs > links[j].l.FlushNs })
+	if len(links) > 0 {
+		fmt.Fprintf(w, "links (slowest first):\n")
+		max := len(links)
+		if max > 8 {
+			max = 8
+		}
+		for _, lk := range links[:max] {
+			l := lk.l
+			fmt.Fprintf(w, "  %d->%d  %8d B in %-10s %8.1f MB/s  stall %-10s rtt %s\n",
+				lk.src, l.Peer, l.BytesSent, time.Duration(l.FlushNs).Round(time.Microsecond),
+				l.BandwidthBps()/1e6, time.Duration(l.CreditStallNs).Round(time.Microsecond),
+				time.Duration(l.HeartbeatRTTNs).Round(time.Microsecond))
+		}
+	}
+
+	if len(s.Findings) > 0 {
+		fmt.Fprintf(w, "findings:\n")
+		for _, f := range s.Findings {
+			fmt.Fprintf(w, "  %s\n", f.String())
+		}
+	} else {
+		fmt.Fprintf(w, "findings: none (cluster on model)\n")
+	}
+}
+
+func pad(s string, n int) string {
+	for len(s) < n {
+		s += " "
+	}
+	return s
+}

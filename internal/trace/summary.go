@@ -1,0 +1,193 @@
+// Post-hoc trace analysis: fold a Perfetto trace file (one rank's, or
+// several ranks merged by Merge) into a per-stage critical-path table —
+// the terminal-friendly answer to "which stage, on which rank, bounds
+// the run" without loading the timeline into a UI.
+
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// SpanSummary aggregates every span sharing one name across the trace.
+type SpanSummary struct {
+	Name string `json:"name"`
+	// Ranks counts distinct ranks that ran the span.
+	Ranks int `json:"ranks"`
+	// Calls counts completed (begin/end paired) spans.
+	Calls int64 `json:"calls"`
+	// TotalNs sums span wall time over every rank.
+	TotalNs int64 `json:"total_ns"`
+	// MeanNs is the per-rank mean of the summed wall time.
+	MeanNs int64 `json:"mean_rank_ns"`
+	// MaxNs is the summed wall time of the slowest rank — the span's
+	// contribution to the cluster's critical path.
+	MaxNs int64 `json:"max_rank_ns"`
+	// MaxRank is that straggler rank.
+	MaxRank int `json:"max_rank"`
+	// CritShare is MaxNs over the sum of every span's MaxNs: the
+	// fraction of the straggler-bounded critical path this span holds.
+	CritShare float64 `json:"critical_path_share"`
+}
+
+// Summary is the digest of one trace file.
+type Summary struct {
+	// Ranks counts distinct ranks observed (rank -1 process rows count).
+	Ranks int `json:"ranks"`
+	// WallNs spans the first begin to the last end in the trace.
+	WallNs int64 `json:"wall_ns"`
+	// Spans holds one row per span name, critical-path share descending.
+	Spans []SpanSummary `json:"spans"`
+	// Findings lists explainer findings mirrored into the trace as
+	// instant events ("finding:<kind>: <detail>"), trace order.
+	Findings []string `json:"findings,omitempty"`
+}
+
+// Summarize parses a Perfetto trace-event JSON document (as written by
+// WritePerfetto or Merge) and aggregates it. Unpaired begins (the ring
+// wrapped, or the trace ends mid-span) are dropped; unpaired ends
+// likewise.
+func Summarize(r io.Reader) (*Summary, error) {
+	var f perfettoFile
+	if err := json.NewDecoder(r).Decode(&f); err != nil {
+		return nil, fmt.Errorf("trace: summary: %w", err)
+	}
+
+	type rankAgg struct {
+		ns    int64
+		calls int64
+	}
+	type track struct{ pid, tid int }
+	stacks := map[track][]perfettoEvent{}
+	agg := map[string]map[int]*rankAgg{}
+	ranks := map[int]bool{}
+	s := &Summary{}
+	var minTS, maxTS float64
+	seenTS := false
+	for _, ev := range f.TraceEvents {
+		if ev.Ph == "M" {
+			continue
+		}
+		rank := ev.PID - 1
+		ranks[rank] = true
+		if !seenTS || ev.TS < minTS {
+			minTS = ev.TS
+		}
+		if !seenTS || ev.TS > maxTS {
+			maxTS = ev.TS
+		}
+		seenTS = true
+		switch ev.Ph {
+		case "B":
+			k := track{ev.PID, ev.TID}
+			stacks[k] = append(stacks[k], ev)
+		case "E":
+			k := track{ev.PID, ev.TID}
+			st := stacks[k]
+			if len(st) == 0 {
+				continue
+			}
+			b := st[len(st)-1]
+			stacks[k] = st[:len(st)-1]
+			name := b.Name
+			if name == "" {
+				name = ev.Name
+			}
+			byRank := agg[name]
+			if byRank == nil {
+				byRank = map[int]*rankAgg{}
+				agg[name] = byRank
+			}
+			ra := byRank[rank]
+			if ra == nil {
+				ra = &rankAgg{}
+				byRank[rank] = ra
+			}
+			d := int64((ev.TS - b.TS) * 1e3)
+			if d < 0 {
+				d = 0
+			}
+			ra.ns += d
+			ra.calls++
+		case "i":
+			if strings.HasPrefix(ev.Name, "finding:") {
+				s.Findings = append(s.Findings, fmt.Sprintf("rank %d: %s", rank, ev.Name))
+			}
+		}
+	}
+
+	s.Ranks = len(ranks)
+	if seenTS {
+		s.WallNs = int64((maxTS - minTS) * 1e3)
+	}
+	var critTotal int64
+	for name, byRank := range agg {
+		row := SpanSummary{Name: name, Ranks: len(byRank), MaxRank: -1}
+		for rank, ra := range byRank {
+			row.Calls += ra.calls
+			row.TotalNs += ra.ns
+			if ra.ns > row.MaxNs || row.MaxRank < 0 {
+				row.MaxNs = ra.ns
+				row.MaxRank = rank
+			}
+		}
+		row.MeanNs = row.TotalNs / int64(len(byRank))
+		critTotal += row.MaxNs
+		s.Spans = append(s.Spans, row)
+	}
+	for i := range s.Spans {
+		if critTotal > 0 {
+			s.Spans[i].CritShare = float64(s.Spans[i].MaxNs) / float64(critTotal)
+		}
+	}
+	sort.Slice(s.Spans, func(i, j int) bool {
+		if s.Spans[i].MaxNs != s.Spans[j].MaxNs {
+			return s.Spans[i].MaxNs > s.Spans[j].MaxNs
+		}
+		return s.Spans[i].Name < s.Spans[j].Name
+	})
+	return s, nil
+}
+
+// WriteTable renders the summary as the per-stage critical-path table:
+// one row per span name, straggler-bounded time descending, with the
+// straggler rank and the row's share of the critical path.
+func (s *Summary) WriteTable(w io.Writer) {
+	fmt.Fprintf(w, "per-stage critical path over %d rank(s), wall %s:\n",
+		s.Ranks, fmtNs(s.WallNs))
+	if len(s.Spans) == 0 {
+		fmt.Fprintln(w, "  (no completed spans in trace)")
+		return
+	}
+	fmt.Fprintf(w, "  %-22s %8s %12s %12s %9s %10s\n",
+		"stage", "calls", "mean/rank", "max/rank", "straggler", "crit-path")
+	for _, row := range s.Spans {
+		fmt.Fprintf(w, "  %-22s %8d %12s %12s %9s %9.1f%%\n",
+			row.Name, row.Calls, fmtNs(row.MeanNs), fmtNs(row.MaxNs),
+			fmt.Sprintf("rank %d", row.MaxRank), 100*row.CritShare)
+	}
+	if len(s.Findings) > 0 {
+		fmt.Fprintln(w, "  findings:")
+		for _, f := range s.Findings {
+			fmt.Fprintf(w, "    %s\n", f)
+		}
+	}
+}
+
+// fmtNs renders nanoseconds with a duration unit fit to magnitude.
+func fmtNs(ns int64) string {
+	switch {
+	case ns >= 1e9:
+		return fmt.Sprintf("%.2fs", float64(ns)/1e9)
+	case ns >= 1e6:
+		return fmt.Sprintf("%.2fms", float64(ns)/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.1fµs", float64(ns)/1e3)
+	default:
+		return fmt.Sprintf("%dns", ns)
+	}
+}

@@ -1,0 +1,106 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestSummarizeCriticalPath builds a two-rank trace with a known
+// straggler, exports it through the Perfetto writer, and checks the
+// digest: per-span calls, the straggler's identity, critical-path
+// ordering, and finding instants surfacing.
+func TestSummarizeCriticalPath(t *testing.T) {
+	tr := New(0)
+	id := NewID()
+	// Rank 0: convolve 2 calls; rank 1 is the convolve straggler.
+	// Exchange only on rank 1, shorter than its convolve.
+	emit := func(rank int, name string, calls int) {
+		for i := 0; i < calls; i++ {
+			tr.Begin(id, rank, name)
+			tr.End(id, rank, name)
+		}
+	}
+	emit(0, "convolve", 2)
+	emit(1, "convolve", 2)
+	emit(1, "exchange", 1)
+	tr.Instant(id, 1, "finding:slow-link: link 1->0 behind fleet median")
+
+	var buf bytes.Buffer
+	if err := tr.WritePerfetto(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Summarize(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Ranks != 2 {
+		t.Errorf("Ranks = %d, want 2", s.Ranks)
+	}
+	byName := map[string]SpanSummary{}
+	for _, row := range s.Spans {
+		byName[row.Name] = row
+	}
+	conv, ok := byName["convolve"]
+	if !ok {
+		t.Fatalf("no convolve row in %+v", s.Spans)
+	}
+	if conv.Calls != 4 || conv.Ranks != 2 {
+		t.Errorf("convolve calls=%d ranks=%d, want 4 over 2 ranks", conv.Calls, conv.Ranks)
+	}
+	exch, ok := byName["exchange"]
+	if !ok {
+		t.Fatalf("no exchange row in %+v", s.Spans)
+	}
+	if exch.Calls != 1 || exch.MaxRank != 1 {
+		t.Errorf("exchange calls=%d maxRank=%d, want 1 on rank 1", exch.Calls, exch.MaxRank)
+	}
+	var critTotal float64
+	for _, row := range s.Spans {
+		critTotal += row.CritShare
+	}
+	if critTotal < 0.999 || critTotal > 1.001 {
+		t.Errorf("critical-path shares sum to %v, want 1", critTotal)
+	}
+	if len(s.Findings) != 1 || !strings.Contains(s.Findings[0], "rank 1: finding:slow-link") {
+		t.Errorf("Findings = %v, want the rank-1 slow-link instant", s.Findings)
+	}
+
+	var table bytes.Buffer
+	s.WriteTable(&table)
+	for _, want := range []string{"critical path over 2 rank(s)", "convolve", "exchange", "findings:", "crit-path"} {
+		if !strings.Contains(table.String(), want) {
+			t.Errorf("table missing %q:\n%s", want, table.String())
+		}
+	}
+}
+
+// TestSummarizeRejectsGarbage: a non-JSON input reports an error
+// instead of a zero digest.
+func TestSummarizeRejectsGarbage(t *testing.T) {
+	if _, err := Summarize(strings.NewReader("not json")); err == nil {
+		t.Error("Summarize accepted garbage input")
+	}
+}
+
+// TestSummarizeEmptyTrace: an empty ring still summarizes (no spans, no
+// panic) so scripting the subcommand is safe on quiet runs.
+func TestSummarizeEmptyTrace(t *testing.T) {
+	tr := New(0)
+	var buf bytes.Buffer
+	if err := tr.WritePerfetto(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Summarize(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Spans) != 0 || s.Ranks != 0 {
+		t.Errorf("empty trace summarized to %+v", s)
+	}
+	var table bytes.Buffer
+	s.WriteTable(&table)
+	if !strings.Contains(table.String(), "no completed spans") {
+		t.Errorf("empty table = %q", table.String())
+	}
+}

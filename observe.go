@@ -97,6 +97,15 @@ type CommReport struct {
 	Retransmits    int64
 	DeadlineEvents int64
 	ChecksumErrors int64
+	// StreamChunks counts chunks shipped by the streamed (windowed)
+	// all-to-all; zero when the blocking exchange ran.
+	StreamChunks int64
+	// HiddenExchange is exchange wire time that ran concurrently with
+	// convolution or segment assembly — time the async pipeline hid.
+	HiddenExchange time.Duration
+	// CreditStall is time streamed sends spent blocked on a full
+	// per-destination credit window (the producer outran a link).
+	CreditStall time.Duration
 }
 
 // Report is a point-in-time snapshot of a plan's accumulated
@@ -149,6 +158,9 @@ func reportFromSnapshot(s instrument.Snapshot) Report {
 		Retransmits:    s.Comm.Retransmits,
 		DeadlineEvents: s.Comm.DeadlineEvents,
 		ChecksumErrors: s.Comm.ChecksumErrors,
+		StreamChunks:   s.Comm.StreamChunks,
+		HiddenExchange: s.Comm.HiddenExchange,
+		CreditStall:    s.Comm.CreditStall,
 	}
 	return r
 }
@@ -183,6 +195,11 @@ func (r Report) String() string {
 		if c.Retransmits+c.DeadlineEvents+c.ChecksumErrors > 0 {
 			fmt.Fprintf(&b, ", faults: %d retransmit %d deadline %d checksum",
 				c.Retransmits, c.DeadlineEvents, c.ChecksumErrors)
+		}
+		if c.StreamChunks > 0 {
+			fmt.Fprintf(&b, ", stream: %d chunks, %v hidden, %v credit-stall",
+				c.StreamChunks, c.HiddenExchange.Round(time.Microsecond),
+				c.CreditStall.Round(time.Microsecond))
 		}
 		b.WriteByte('\n')
 	}

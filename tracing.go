@@ -65,3 +65,17 @@ func (p *Plan) Tracer() *Tracer { return p.inner.Tracer() }
 func MergeTraces(w io.Writer, inputs ...io.Reader) error {
 	return trace.Merge(w, inputs...)
 }
+
+// TraceSummary is the per-stage critical-path digest of a Perfetto
+// trace file (see SummarizeTrace).
+type TraceSummary = trace.Summary
+
+// SummarizeTrace folds a Perfetto trace file — one rank's, or several
+// merged with MergeTraces — into the per-stage critical-path table
+// soitrace's summary subcommand prints: per span name, the summed wall
+// time of the slowest rank, the straggler's identity, and the span's
+// share of the straggler-bounded critical path, plus any explainer
+// findings mirrored into the trace.
+func SummarizeTrace(r io.Reader) (*TraceSummary, error) {
+	return trace.Summarize(r)
+}
