@@ -34,6 +34,7 @@ func main() {
 	benchJSON := flag.String("bench-json", "", "measure distributed transforms across sizes and write a machine-readable summary here (e.g. BENCH_soi.json), then exit")
 	benchBase := flag.String("bench-baseline", "", "with -bench-json: committed baseline report to compare against; exit 1 on regression")
 	benchTol := flag.Float64("bench-tol", 0.10, "with -bench-baseline: allowed ns/op slowdown before the gate fails (0.10 = 10%)")
+	overlapTol := flag.Float64("overlap-tol", 0.10, "with -bench-baseline: allowed relative loss of streamed-exchange overlap before the gate fails (0.10 = hides 10% less of the wire than the baseline); applies only to runs whose baseline overlap was meaningful")
 	flag.Parse()
 
 	if *traceOut != "" {
@@ -84,15 +85,23 @@ func main() {
 			if err != nil {
 				fail(err)
 			}
-			if len(regs) > 0 {
+			oregs, err := bench.CompareOverlap(baseline, rep, *overlapTol)
+			if err != nil {
+				fail(err)
+			}
+			if len(regs) > 0 || len(oregs) > 0 {
 				for _, r := range regs {
 					fmt.Fprintln(os.Stderr, "soibench: REGRESSION:", r)
 				}
-				fmt.Fprintf(os.Stderr, "soibench: %d run(s) regressed beyond %.0f%% vs %s\n",
-					len(regs), 100**benchTol, *benchBase)
+				for _, r := range oregs {
+					fmt.Fprintln(os.Stderr, "soibench: OVERLAP REGRESSION:", r)
+				}
+				fmt.Fprintf(os.Stderr, "soibench: %d run(s) regressed beyond %.0f%% ns/op or %.0f%% overlap vs %s\n",
+					len(regs)+len(oregs), 100**benchTol, 100**overlapTol, *benchBase)
 				os.Exit(1)
 			}
-			fmt.Printf("benchmark gate passed: no run more than %.0f%% slower than %s\n", 100**benchTol, *benchBase)
+			fmt.Printf("benchmark gate passed: no run more than %.0f%% slower or hiding %.0f%% less wire than %s\n",
+				100**benchTol, 100**overlapTol, *benchBase)
 		}
 		return
 	}

@@ -43,6 +43,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -74,8 +75,10 @@ func main() {
 		"per-operation I/O deadline on peer links; a peer that stalls longer is declared dead with a typed error (0 = wait forever)")
 	coded := flag.Int("coded", -1,
 		"erasure parity shares m for the coded exchange: survive ranks dying mid-transform at a wire cost of (R-1+m)/(R-1) (0 = detection only, -1 = plain exchange)")
-	asyncWindow := flag.Int("async-window", 0,
-		"stream the all-to-all in chunks with this many in flight per link, overlapping wire time with convolution (0 = blocking exchange); composes with -coded")
+	asyncWindow := flag.String("async-window", "0",
+		"stream the all-to-all in chunks with this many in flight per link, overlapping wire time with convolution (0 = blocking exchange, 'auto' = the closed-loop controller picks and adapts the window between transforms); composes with -coded")
+	transforms := flag.Int("transforms", 1,
+		"run this many back-to-back transforms on the same input (with -async-window=auto the controller re-tunes the window between them)")
 	faultPlan := flag.String("fault-plan", "",
 		"faultnet chaos plan injected into this rank's links, e.g. seed=42,corrupt=0.001,latency=1ms (see internal/faultnet)")
 	report := flag.Bool("report", false,
@@ -103,6 +106,18 @@ func main() {
 		failPlain(err)
 	}
 	log := logger.With("rank", *rank)
+
+	// Flag validation that needs no network: reject a malformed window
+	// or transform count before any socket is opened, so a typo fails in
+	// milliseconds instead of after the mesh dial.
+	window, adaptive, err := parseAsyncWindow(*asyncWindow, *size)
+	if err != nil {
+		fail(log, err)
+	}
+	if *transforms < 1 {
+		fail(log, &UsageError{Flag: "-transforms", Value: fmt.Sprint(*transforms),
+			Reason: "must be at least 1"})
+	}
 
 	addrs := strings.Split(*peers, ",")
 	node, err := mpinet.NewNode(*rank, *size, *listen)
@@ -189,7 +204,7 @@ func main() {
 			Recorder: plan.Recorder(),
 			Shape: telemetry.Shape{
 				N: *n, Segments: *segments, Taps: *taps, Beta: 0.25,
-				Parity: *coded, Window: *asyncWindow,
+				Parity: *coded, Window: window,
 			},
 			Interval: *telemetryInterval,
 			Tracer:   tracer,
@@ -246,26 +261,37 @@ func main() {
 	var dt core.DistributedTimes
 	var deg *core.DegradedError
 	localIn := src[*rank*nLocal : (*rank+1)*nLocal]
-	opts := []core.DistOption{core.WithAsyncWindow(*asyncWindow), core.WithTelemetry(plane)}
+	opts := []core.DistOption{core.WithTelemetry(plane)}
+	if adaptive {
+		opts = append(opts, core.WithAdaptiveWindow())
+	} else {
+		opts = append(opts, core.WithAsyncWindow(window))
+	}
 	if *coded >= 0 {
 		opts = append(opts, core.WithCoding(*coded))
 	}
-	dt, err = plan.RunDistributed(ctx, proc, out, localIn, opts...)
-	if *coded >= 0 && errors.As(err, &deg) {
-		// The spectrum is complete and bit-exact; the error is
-		// informational. Degraded completion is a success exit.
-		log.Warn("transform completed degraded: dead rank(s) reconstructed from parity",
-			"reconstructed", fmt.Sprint(deg.ReconstructedRanks),
-			"coordinator", deg.Coordinator,
-			"parity_bytes", deg.ParityBytes, "recovery_bytes", deg.RecoveryBytes)
-		err = nil
+	for i := 0; i < *transforms; i++ {
+		dt, err = plan.RunDistributed(ctx, proc, out, localIn, opts...)
+		if *coded >= 0 && errors.As(err, &deg) {
+			// The spectrum is complete and bit-exact; the error is
+			// informational. Degraded completion is a success exit.
+			log.Warn("transform completed degraded: dead rank(s) reconstructed from parity",
+				"reconstructed", fmt.Sprint(deg.ReconstructedRanks),
+				"coordinator", deg.Coordinator,
+				"parity_bytes", deg.ParityBytes, "recovery_bytes", deg.RecoveryBytes)
+			err = nil
+		}
+		if err != nil {
+			fail(log, err)
+		}
 	}
-	if err != nil {
-		fail(log, err)
-	}
-	log.Info("transform done", "elapsed", time.Since(t0).String(),
+	log.Info("transform done", "transforms", *transforms, "elapsed", time.Since(t0).String(),
 		"halo", dt.Halo.String(), "convolve", dt.Convolve.String(),
 		"exchange", dt.Exchange.String(), "segment_fft", dt.SegmentFT.String())
+	if d, ok := plan.AdaptiveDecision(proc.Rank()); ok {
+		log.Info("adaptive window", "window", d.Window, "model_prior", d.Prior,
+			"decision", d.Reason)
+	}
 
 	var full []complex128
 	reportRank := 0
@@ -349,16 +375,25 @@ func main() {
 		perRank := 16 * nPrime * int64(*size-1) / int64(*size) / int64(*size)
 		baseline := 3 * 16 * int64(*n) * int64(*size-1) / int64(*size) / int64(*size)
 		model := perfmodel.Model{Beta: 0.25}
+		// Counters accumulate across -transforms runs; the analytic volume
+		// and the paper's 3/(1+β) ratio are per-transform, so normalize.
+		perTransform := snap.Comm.AlltoallBytes / int64(*transforms)
 		ratio := 0.0
-		if snap.Comm.AlltoallBytes > 0 {
-			ratio = float64(baseline) / float64(snap.Comm.AlltoallBytes)
+		if perTransform > 0 {
+			ratio = float64(baseline) / float64(perTransform)
 		}
-		fmt.Printf("rank %d: exchange volume %d B (analytic per-rank %d B); vs triple-all-to-all %d B: ratio %.3f, paper predicts 3/(1+beta) = %.3f\n",
-			*rank, snap.Comm.AlltoallBytes, perRank, baseline, ratio, model.AsymptoticSpeedup())
-		if *asyncWindow > 0 {
+		fmt.Printf("rank %d: exchange volume %d B/transform (analytic per-rank %d B); vs triple-all-to-all %d B: ratio %.3f, paper predicts 3/(1+beta) = %.3f\n",
+			*rank, perTransform, perRank, baseline, ratio, model.AsymptoticSpeedup())
+		if window > 0 || adaptive {
+			w := window
+			wNote := "fixed"
+			if d, ok := plan.AdaptiveDecision(proc.Rank()); ok {
+				w = d.Window
+				wNote = fmt.Sprintf("adaptive, model prior %d", d.Prior)
+			}
 			exWall := snap.Stages[instrument.StageExchange].Wall
-			fmt.Printf("rank %d: async exchange: %d chunks streamed, window %d, un-hidden %s, hidden behind compute %s, overlap %.2f, credit-stall %s\n",
-				*rank, snap.Comm.StreamChunks, *asyncWindow, exWall,
+			fmt.Printf("rank %d: async exchange: %d chunks streamed, window %d (%s), un-hidden %s, hidden behind compute %s, overlap %.2f, credit-stall %s\n",
+				*rank, snap.Comm.StreamChunks, w, wNote, exWall,
 				snap.Comm.HiddenExchange, snap.Comm.OverlapRatio(exWall), snap.Comm.CreditStall)
 		}
 		if *coded >= 0 {
@@ -371,6 +406,46 @@ func main() {
 			*rank, ns.FramesSent, ns.BytesSent, ns.FramesReceived, ns.BytesReceived,
 			ns.HeartbeatsSent, ns.DialRetries, ns.DeadlineEvents, ns.ChecksumErrors, ns.LinkFailures)
 	}
+}
+
+// UsageError is a rejected flag value: what was passed, and why it
+// cannot mean anything. Flag validation fails typed like the transport
+// does, so scripts can tell operator error (bad invocation, fix the
+// command line) from runtime faults (dead peers, wire corruption).
+type UsageError struct {
+	Flag   string
+	Value  string
+	Reason string
+}
+
+func (e *UsageError) Error() string {
+	return fmt.Sprintf("usage: %s=%s: %s", e.Flag, e.Value, e.Reason)
+}
+
+// parseAsyncWindow resolves the -async-window flag: "auto" arms the
+// closed-loop controller, an integer in [0, size] fixes the window
+// (0 = blocking exchange). Anything else — a non-integer, a negative,
+// or a window wider than the rank count (more in-flight chunks than
+// destinations could ever absorb) — is a *UsageError, never a silent
+// clamp.
+func parseAsyncWindow(s string, size int) (window int, adaptive bool, err error) {
+	if strings.EqualFold(s, "auto") {
+		return 0, true, nil
+	}
+	w, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, false, &UsageError{Flag: "-async-window", Value: s,
+			Reason: "must be an integer window or 'auto'"}
+	}
+	if w < 0 {
+		return 0, false, &UsageError{Flag: "-async-window", Value: s,
+			Reason: "window must not be negative (0 selects the blocking exchange)"}
+	}
+	if w > size {
+		return 0, false, &UsageError{Flag: "-async-window", Value: s,
+			Reason: fmt.Sprintf("window exceeds the rank count %d; deeper windows cannot add in-flight chunks", size)}
+	}
+	return w, false, nil
 }
 
 // fail exits non-zero; a typed transport fault names the failed peer and

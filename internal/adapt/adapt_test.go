@@ -1,0 +1,242 @@
+package adapt
+
+import (
+	"testing"
+	"time"
+
+	"soifft/internal/instrument"
+	"soifft/internal/telemetry"
+)
+
+// syntheticSnapshot builds a 4-rank ClusterSnapshot with uniform stage
+// times, then lets the caller distort it (throttle a link, stale a
+// rank). Times: convolve 10ms/rank; exchange visible+hidden set by the
+// scenario.
+func syntheticSnapshot(visibleNs, hiddenNs, stallNs int64, mutate func(s *telemetry.ClusterSnapshot)) *telemetry.ClusterSnapshot {
+	const world = 4
+	s := &telemetry.ClusterSnapshot{World: world, Shape: telemetry.Shape{Window: 2}}
+	overlap := 0.0
+	if visibleNs+hiddenNs > 0 {
+		overlap = float64(hiddenNs) / float64(visibleNs+hiddenNs)
+	}
+	for r := 0; r < world; r++ {
+		rs := telemetry.RankStat{
+			Rank:     r,
+			Reported: true,
+			StageNs: map[string]int64{
+				instrument.StageConvolve.String(): 10e6,
+				instrument.StageExchange.String(): visibleNs,
+			},
+			Comm:         telemetry.CommStats{HiddenNs: hiddenNs, CreditStallNs: stallNs},
+			OverlapRatio: overlap,
+			Links: []telemetry.LinkStat{
+				{Peer: (r + 1) % world, CreditStallNs: stallNs / 3},
+				{Peer: (r + 2) % world, CreditStallNs: stallNs / 3},
+				{Peer: (r + 3) % world, CreditStallNs: stallNs / 3},
+			},
+		}
+		s.Ranks = append(s.Ranks, rs)
+	}
+	s.Fleet.OverlapRatioP50 = overlap
+	if mutate != nil {
+		mutate(s)
+	}
+	return s
+}
+
+// TestPolicyTable is the satellite unit table: synthetic snapshots for
+// the canonical cluster conditions mapped to the window the controller
+// must pick next.
+func TestPolicyTable(t *testing.T) {
+	cases := []struct {
+		name string
+		snap *telemetry.ClusterSnapshot
+		// pre positions the controller before the observation (0 = fresh
+		// at the default prior of 2).
+		pre        func(c *Controller)
+		wantWindow int
+		wantChange bool
+	}{
+		{
+			// Wire outlasts compute 1.5× and most of it is visible: the
+			// producer stalls on the window. Grow.
+			name:       "wire-bound",
+			snap:       syntheticSnapshot(12e6, 3e6, 9e6, nil),
+			wantWindow: 3,
+			wantChange: true,
+		},
+		{
+			// Exchange is a sliver of convolve and fully hidden. A fresh
+			// controller at the prior holds — nothing to fix.
+			name:       "compute-bound holds at prior",
+			snap:       syntheticSnapshot(100e3, 900e3, 0, nil),
+			wantWindow: 2,
+		},
+		{
+			// Same compute-bound fleet, but the controller had grown to 4:
+			// relax back toward the prior.
+			name: "compute-bound relaxes an inflated window",
+			snap: syntheticSnapshot(100e3, 900e3, 0, nil),
+			pre: func(c *Controller) {
+				c.Observe(Measurement{Window: 2, OverlapRatio: 0.2, StallShare: 0.8, WireComputeRatio: 1.5}) // 2→3
+				c.Observe(Measurement{Window: 3, OverlapRatio: 0.4, StallShare: 0.6, WireComputeRatio: 1.4}) // 3→4
+			},
+			wantWindow: 3,
+			wantChange: true,
+		},
+		{
+			// One throttled link: fleet overlap is mediocre and a single
+			// link's credit-stall dominates its rank's visible exchange.
+			name: "one throttled link",
+			snap: syntheticSnapshot(8e6, 6e6, 0, func(s *telemetry.ClusterSnapshot) {
+				s.Ranks[3].Links[0].CreditStallNs = 7e6 // link 3→0 eats the window
+			}),
+			wantWindow: 3,
+			wantChange: true,
+		},
+		{
+			// A dead rank makes the fleet view partial: hold, do not steer.
+			name: "stale rank holds",
+			snap: syntheticSnapshot(12e6, 3e6, 9e6, func(s *telemetry.ClusterSnapshot) {
+				s.Ranks[2].Stale = true
+			}),
+			wantWindow: 2,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := New(Config{MaxWindow: 8})
+			if tc.pre != nil {
+				tc.pre(c)
+			}
+			m := FromCluster(tc.snap)
+			d := c.Observe(m)
+			t.Logf("measurement %+v → %s", m, d)
+			if d.Window != tc.wantWindow {
+				t.Errorf("window = %d, want %d (%s)", d.Window, tc.wantWindow, d.Reason)
+			}
+			if d.Changed != tc.wantChange {
+				t.Errorf("changed = %v, want %v (%s)", d.Changed, tc.wantChange, d.Reason)
+			}
+		})
+	}
+}
+
+// TestHysteresisHoldsSteady: after the controller acts, a wire/compute
+// ratio (and overlap) oscillating ±10% around the acted-on point must
+// not move the window — the dead band absorbs it.
+func TestHysteresisHoldsSteady(t *testing.T) {
+	c := New(Config{MaxWindow: 8})
+	base := Measurement{Window: 2, OverlapRatio: 0.40, StallShare: 0.50, WireComputeRatio: 1.5}
+	d := c.Observe(base)
+	if !d.Changed {
+		t.Fatalf("setup: expected the controller to act on %+v, got %s", base, d)
+	}
+	w := d.Window
+	for i := 0; i < 20; i++ {
+		sign := 1.0
+		if i%2 == 1 {
+			sign = -1
+		}
+		noisy := Measurement{
+			Window:           w,
+			OverlapRatio:     base.OverlapRatio + sign*0.04, // ±10% of 0.40
+			StallShare:       base.StallShare + sign*0.05,   // ±10% of 0.50
+			WireComputeRatio: base.WireComputeRatio * (1 + sign*0.10),
+		}
+		d = c.Observe(noisy)
+		if d.Changed || d.Window != w {
+			t.Fatalf("round %d: ±10%% noise moved the window: %s", i, d)
+		}
+	}
+	// A real shift — overlap collapsing well past the band — must still
+	// get through: hysteresis is a dead band, not a latch.
+	d = c.Observe(Measurement{Window: w, OverlapRatio: 0.10, StallShare: 0.80, WireComputeRatio: 2.2})
+	if !d.Changed || d.Window <= w {
+		t.Fatalf("genuine regression did not grow the window: %s", d)
+	}
+}
+
+// TestGrowthConvergesAtMax: persistent wire-bound pressure walks the
+// window up and stops at MaxWindow without oscillating.
+func TestGrowthConvergesAtMax(t *testing.T) {
+	c := New(Config{MaxWindow: 4})
+	overlaps := []float64{0.2, 0.4, 0.5, 0.5, 0.5}
+	prev := c.Window()
+	for i, ov := range overlaps {
+		d := c.Observe(Measurement{Window: prev, OverlapRatio: ov, StallShare: 0.6, WireComputeRatio: 1.6})
+		if d.Window < prev {
+			t.Fatalf("round %d: window shrank under sustained pressure: %s", i, d)
+		}
+		if d.Window > 4 {
+			t.Fatalf("round %d: window exceeded MaxWindow: %s", i, d)
+		}
+		prev = d.Window
+	}
+	if prev != 4 {
+		t.Errorf("converged at %d, want MaxWindow 4", prev)
+	}
+}
+
+func TestPriorWindow(t *testing.T) {
+	cases := []struct {
+		ratio    float64
+		min, max int
+		want     int
+	}{
+		{0, 1, 8, DefaultWindow}, // no model → hand-tuned default
+		{0.3, 1, 8, 1},           // compute-bound → minimal window
+		{1.0, 1, 8, 2},           // balanced → default-equivalent
+		{1.5, 1, 8, 3},           // the e2e's throttle setting
+		{4.0, 1, 4, 4},           // clamped to max
+		{10, 2, 16, 16},          // deep wire-bound, clamped
+		{0.5, 3, 8, 3},           // clamped to min
+	}
+	for _, tc := range cases {
+		if got := PriorWindow(tc.ratio, tc.min, tc.max); got != tc.want {
+			t.Errorf("PriorWindow(%v, %d, %d) = %d, want %d", tc.ratio, tc.min, tc.max, got, tc.want)
+		}
+	}
+}
+
+// TestFromLocal: the telemetry-off path extracts the same signals from
+// a raw recorder snapshot.
+func TestFromLocal(t *testing.T) {
+	rec := instrument.New(instrument.LevelTimers)
+	rec.ObserveStage(instrument.StageConvolve, 10*time.Millisecond, 0, 1, 0)
+	rec.ObserveStage(instrument.StageExchange, 6*time.Millisecond, 0, 1, 0)
+	rec.AddHiddenExchange(9 * time.Millisecond)
+	rec.AddCreditStall(3 * time.Millisecond)
+	m := FromLocal(2, rec.Snapshot())
+	if m.Window != 2 {
+		t.Errorf("window = %d, want 2", m.Window)
+	}
+	if got, want := m.OverlapRatio, 0.6; !close2(got, want) {
+		t.Errorf("overlap = %v, want %v", got, want)
+	}
+	if got, want := m.StallShare, 0.5; !close2(got, want) {
+		t.Errorf("stall share = %v, want %v", got, want)
+	}
+	if got, want := m.WireComputeRatio, 1.5; !close2(got, want) {
+		t.Errorf("wire/compute = %v, want %v", got, want)
+	}
+}
+
+// TestFromClusterStaleOnPartialView: nil snapshots and unreported ranks
+// must surface as stale measurements.
+func TestFromClusterStaleOnPartialView(t *testing.T) {
+	if m := FromCluster(nil); !m.Stale {
+		t.Error("nil snapshot not stale")
+	}
+	s := syntheticSnapshot(1e6, 1e6, 0, func(s *telemetry.ClusterSnapshot) {
+		s.Ranks[1].Reported = false
+	})
+	if m := FromCluster(s); !m.Stale {
+		t.Error("snapshot with an unreported rank not stale")
+	}
+}
+
+func close2(a, b float64) bool {
+	d := a - b
+	return d < 1e-9 && d > -1e-9
+}

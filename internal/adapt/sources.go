@@ -1,0 +1,87 @@
+package adapt
+
+import (
+	"soifft/internal/instrument"
+	"soifft/internal/telemetry"
+)
+
+// FromLocal derives a measurement from a single rank's recorder
+// snapshot — the telemetry-off path. The snapshot should cover exactly
+// the transforms being judged (callers diff or Reset between
+// observations); window is the async window those transforms ran with.
+func FromLocal(window int, snap instrument.Snapshot) Measurement {
+	visible := snap.Stages[instrument.StageExchange].Wall
+	hidden := snap.Comm.HiddenExchange
+	convolve := snap.Stages[instrument.StageConvolve].Wall
+	m := Measurement{
+		Window:       window,
+		OverlapRatio: snap.Comm.OverlapRatio(visible),
+	}
+	if visible > 0 {
+		m.StallShare = clamp01(float64(snap.Comm.CreditStall) / float64(visible))
+	}
+	if convolve > 0 {
+		m.WireComputeRatio = float64(hidden+visible) / float64(convolve)
+	}
+	return m
+}
+
+// FromCluster derives the fleet measurement from rank 0's aggregated
+// snapshot: median overlap ratio, the worst single link's credit-stall
+// share of its rank's visible exchange, and the median wire/compute
+// ratio. A snapshot with dead or unreported ranks comes back Stale —
+// the controller holds rather than steering on a partial view.
+func FromCluster(s *telemetry.ClusterSnapshot) Measurement {
+	if s == nil {
+		return Measurement{Stale: true}
+	}
+	m := Measurement{
+		Window:       s.Shape.Window,
+		OverlapRatio: s.Fleet.OverlapRatioP50,
+	}
+	exchName := instrument.StageExchange.String()
+	convName := instrument.StageConvolve.String()
+	var ratios []float64
+	for _, r := range s.Ranks {
+		if !r.Reported || r.Stale {
+			m.Stale = true
+			continue
+		}
+		visible := r.StageNs[exchName]
+		if visible > 0 {
+			for _, l := range r.Links {
+				if share := clamp01(float64(l.CreditStallNs) / float64(visible)); share > m.StallShare {
+					m.StallShare = share
+				}
+			}
+		}
+		if conv := r.StageNs[convName]; conv > 0 {
+			ratios = append(ratios, float64(r.Comm.HiddenNs+visible)/float64(conv))
+		}
+	}
+	m.WireComputeRatio = median(ratios)
+	return m
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+func median(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	// insertion sort: fleet sizes are small
+	for i := 1; i < len(vals); i++ {
+		for j := i; j > 0 && vals[j] < vals[j-1]; j-- {
+			vals[j], vals[j-1] = vals[j-1], vals[j]
+		}
+	}
+	return vals[len(vals)/2]
+}

@@ -77,6 +77,75 @@ func Compare(baseline, current *BenchReport, tol float64) ([]Regression, error) 
 	return regs, nil
 }
 
+// OverlapRegression is one benchmark configuration whose streamed
+// exchange hides a smaller fraction of the wire than the committed
+// baseline did.
+type OverlapRegression struct {
+	N       int     // transform size
+	Ranks   int     // in-process ranks
+	Metric  string  // "overlap_ratio" or "adaptive_overlap_ratio"
+	Base    float64 // baseline overlap ratio
+	Current float64 // fresh overlap ratio
+}
+
+func (r OverlapRegression) String() string {
+	return fmt.Sprintf("N=%d ranks=%d: %s %.3f -> %.3f (%.1f%% of the baseline overlap lost)",
+		r.N, r.Ranks, r.Metric, r.Base, r.Current, 100*(1-r.Current/r.Base))
+}
+
+// minGatedOverlap is the smallest baseline overlap ratio the gate acts
+// on: below it the exchange hides next to nothing anyway (a
+// compute-bound setting, or an ungated runtime whose sends never
+// stall), and a relative comparison would amplify noise into failures.
+const minGatedOverlap = 0.15
+
+// CompareOverlap matches runs like Compare and returns every match
+// whose overlap ratio fell more than tol below the baseline's,
+// relatively (tol 0.10 = the streamed exchange now hides less than 90%
+// of the wire share it used to). Both the fixed-window overlap_ratio
+// and the adaptive controller's adaptive_overlap_ratio are gated, each
+// only when the baseline run recorded it above minGatedOverlap — the
+// wire-bound settings where overlap is the point. One-sided, like the
+// ns/op gate; runs present on one side only are ignored.
+func CompareOverlap(baseline, current *BenchReport, tol float64) ([]OverlapRegression, error) {
+	if tol < 0 {
+		return nil, fmt.Errorf("bench: negative tolerance %v", tol)
+	}
+	type key struct{ n, ranks, segments, taps int }
+	base := make(map[key]BenchRun, len(baseline.Runs))
+	for _, r := range baseline.Runs {
+		base[key{r.N, r.Ranks, r.Segments, r.Taps}] = r
+	}
+	var regs []OverlapRegression
+	for _, cur := range current.Runs {
+		b, ok := base[key{cur.N, cur.Ranks, cur.Segments, cur.Taps}]
+		if !ok {
+			continue
+		}
+		for _, m := range []struct {
+			name      string
+			base, cur float64
+		}{
+			{"overlap_ratio", b.OverlapRatio, cur.OverlapRatio},
+			{"adaptive_overlap_ratio", b.AdaptiveOverlapRatio, cur.AdaptiveOverlapRatio},
+		} {
+			if m.base < minGatedOverlap {
+				continue
+			}
+			if m.cur < m.base*(1-tol) {
+				regs = append(regs, OverlapRegression{
+					N: cur.N, Ranks: cur.Ranks, Metric: m.name,
+					Base: m.base, Current: m.cur,
+				})
+			}
+		}
+	}
+	sort.Slice(regs, func(i, j int) bool {
+		return regs[i].Current/regs[i].Base < regs[j].Current/regs[j].Base
+	})
+	return regs, nil
+}
+
 // CompareTable renders a human-readable side-by-side of every matched
 // run, regression or not, for the CI log.
 func CompareTable(baseline, current *BenchReport) *Table {

@@ -121,3 +121,56 @@ func TestCompareTableListsAllMatches(t *testing.T) {
 		}
 	}
 }
+
+func orun(n int, overlap, adaptive float64) BenchRun {
+	return BenchRun{N: n, Ranks: 4, Segments: 8, Taps: 72, NSPerOp: 1000,
+		OverlapRatio: overlap, AdaptiveOverlapRatio: adaptive}
+}
+
+func TestCompareOverlapFlagsLostOverlap(t *testing.T) {
+	base := report(orun(1<<14, 0.60, 0.70), orun(1<<16, 0.50, 0.55))
+	cur := report(orun(1<<14, 0.60, 0.40), orun(1<<16, 0.48, 0.53))
+	regs, err := CompareOverlap(base, cur, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only 1<<14's adaptive overlap fell >10% relatively (0.70 -> 0.40);
+	// 1<<16's drops are within tolerance.
+	if len(regs) != 1 {
+		t.Fatalf("got %d overlap regressions, want 1: %v", len(regs), regs)
+	}
+	r := regs[0]
+	if r.N != 1<<14 || r.Metric != "adaptive_overlap_ratio" || r.Base != 0.70 || r.Current != 0.40 {
+		t.Errorf("wrong overlap regression: %+v", r)
+	}
+	if !strings.Contains(r.String(), "adaptive_overlap_ratio") {
+		t.Errorf("String() = %q, want the metric named", r.String())
+	}
+}
+
+func TestCompareOverlapSkipsNoiseFloor(t *testing.T) {
+	// A compute-bound baseline (overlap below the gate floor) never
+	// trips, even on a 100% relative collapse.
+	base := report(orun(1<<14, 0.10, 0.05))
+	cur := report(orun(1<<14, 0.0, 0.0))
+	regs, err := CompareOverlap(base, cur, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 0 {
+		t.Fatalf("noise-floor baseline tripped the gate: %v", regs)
+	}
+}
+
+func TestCompareOverlapOneSided(t *testing.T) {
+	// Improved overlap never fails, and unmatched runs are ignored.
+	base := report(orun(1<<14, 0.50, 0.50))
+	cur := report(orun(1<<14, 0.90, 0.95), orun(1<<16, 0.0, 0.0))
+	regs, err := CompareOverlap(base, cur, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 0 {
+		t.Fatalf("unexpected overlap regressions: %v", regs)
+	}
+}

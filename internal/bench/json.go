@@ -8,9 +8,11 @@ import (
 	"runtime"
 	"time"
 
+	"soifft/internal/adapt"
 	"soifft/internal/core"
 	"soifft/internal/instrument"
 	"soifft/internal/mpi"
+	"soifft/internal/netsim"
 	"soifft/internal/signal"
 	"soifft/internal/trace"
 )
@@ -47,6 +49,17 @@ type BenchRun struct {
 	AsyncWindow   int     `json:"async_window,omitempty"`
 	OverlapRatio  float64 `json:"overlap_ratio"`
 	CreditStallNs int64   `json:"credit_stall_ns"`
+
+	// Window, ModelWindow and AdaptiveOverlapRatio come from the
+	// closed-loop pass: a short burst of transforms with the adaptive
+	// controller armed, seeded from the calibrated perfmodel's
+	// wire/compute ratio on the reference fabric. Window is where the
+	// controller settled, ModelWindow the prior it started from —
+	// chosen-vs-model in one row — and AdaptiveOverlapRatio the overlap
+	// the settled window achieved (the overlap gate's metric).
+	Window               int     `json:"window,omitempty"`
+	ModelWindow          int     `json:"model_window,omitempty"`
+	AdaptiveOverlapRatio float64 `json:"adaptive_overlap_ratio,omitempty"`
 }
 
 // BenchReport is the machine-readable benchmark summary soibench
@@ -151,15 +164,50 @@ func measureRun(n, ranks, segments, taps int) (BenchRun, error) {
 	// (hidden wire time over total exchange time) lands in the artifact
 	// next to the blocking breakdown, so CI tracks how much of the
 	// exchange the async pipeline hides at each size.
+	// Best-of-3, like the ns/op number: the overlap gate compares ratios
+	// across runners, and a single small-N run can lose half its hidden
+	// span to one scheduler burst.
 	const asyncWindow = 2
-	asyncRec := instrument.New(instrument.LevelTimers)
-	if err := oneRun(core.WithAsyncWindow(asyncWindow), core.WithRecorder(asyncRec)); err != nil {
+	run.AsyncWindow = asyncWindow
+	for rep := 0; rep < 3; rep++ {
+		asyncRec := instrument.New(instrument.LevelTimers)
+		if err := oneRun(core.WithAsyncWindow(asyncWindow), core.WithRecorder(asyncRec)); err != nil {
+			return run, err
+		}
+		asnap := asyncRec.Snapshot()
+		if ratio := asnap.Comm.OverlapRatio(asnap.Stages[instrument.StageExchange].Wall); rep == 0 || ratio > run.OverlapRatio {
+			run.OverlapRatio = ratio
+			run.CreditStallNs = int64(asnap.Comm.CreditStall)
+		}
+	}
+	// Closed-loop pass: seed the plan's window controller with the
+	// calibrated perfmodel's wire/compute ratio (10GbE is the reference
+	// fabric — the wire-bound end of the modeled systems, where the
+	// window matters), then let a short burst of transforms adapt it.
+	// The artifact records where the controller settled next to the
+	// model's prior, and the overlap the settled window achieved.
+	cal, err := Calibrate(n)
+	if err != nil {
 		return run, err
 	}
-	asnap := asyncRec.Snapshot()
-	run.AsyncWindow = asyncWindow
-	run.OverlapRatio = asnap.Comm.OverlapRatio(asnap.Stages[instrument.StageExchange].Wall)
-	run.CreditStallNs = int64(asnap.Comm.CreditStall)
+	prior := cal.Model(netsim.TenGigE(), int64(n/ranks), 0.25, taps).WireComputeRatio(ranks)
+	pl.SetWindowPrior(prior)
+	maxW := ranks
+	if maxW < 2 {
+		maxW = 2
+	}
+	run.ModelWindow = adapt.PriorWindow(prior, 1, maxW)
+	adaptRec := instrument.New(instrument.LevelTimers)
+	for i := 0; i < 4; i++ {
+		if err := oneRun(core.WithAdaptiveWindow(), core.WithRecorder(adaptRec)); err != nil {
+			return run, err
+		}
+	}
+	if d, ok := pl.AdaptiveDecision(0); ok {
+		run.Window = d.Window
+	}
+	dsnap := adaptRec.Snapshot()
+	run.AdaptiveOverlapRatio = dsnap.Comm.OverlapRatio(dsnap.Stages[instrument.StageExchange].Wall)
 	return run, nil
 }
 

@@ -479,7 +479,7 @@ func (cx *codedExchange) detect(code *erasure.Code, rec *instrument.Recorder) (*
 // order as the blocking fan-out. Detection and recovery are the shared
 // tail, so outcomes (clean, degraded bit-exact, typed loss) are
 // identical to the blocking coded exchange.
-func (cx *codedExchange) runStreamed(ctx context.Context, localIn []complex128) (*DegradedError, error) {
+func (cx *codedExchange) runStreamed(ctx context.Context, localIn []complex128) (deg *DegradedError, err error) {
 	e, c, m := cx.e, cx.c, cx.m
 	r, rank, chunk := e.r, e.rank, e.chunk
 	rec := e.rec
@@ -519,14 +519,21 @@ func (cx *codedExchange) runStreamed(ctx context.Context, localIn []complex128) 
 	defer func() {
 		e.dt.Exchange = sendWait + time.Since(tExch)
 		e.tr.End(e.tid, rank, instrument.StageExchange.String())
-		if e.timed {
-			if hidden := time.Since(streamStart) - e.dt.Exchange; hidden > 0 {
-				e.rec.AddHiddenExchange(hidden)
-			}
+		hidden := time.Since(streamStart) - e.dt.Exchange
+		if hidden < 0 {
+			hidden = 0
+		}
+		if e.timed && hidden > 0 {
+			e.rec.AddHiddenExchange(hidden)
+		}
+		// Degraded-but-complete runs still carry a valid overlap
+		// measurement; only typed failures skip the controller.
+		if err == nil && e.adaptive {
+			e.observeAdaptive(hidden, sendWait)
 		}
 	}()
 	if perr != nil {
-		return nil, perr // context cancellation; peers fail on their own deadlines
+		return nil, perr // context cancellation or a halo send failure
 	}
 	cx.recv[rank] = send[rank*chunk : (rank+1)*chunk]
 

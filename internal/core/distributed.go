@@ -230,10 +230,18 @@ func payloadBytes(data any) int64 {
 //     per link, overlapped with convolution — wire time hides behind
 //     compute, and the Exchange stage time reports only the un-hidden
 //     remainder;
+//   - WithAdaptiveWindow() has the plan's closed-loop controller pick w
+//     per rank: the model prior first, then adapted between transforms
+//     from the measured overlap and credit-stall;
 //   - WithCoding(m) erasure-protects the exchange so the transform
 //     survives up to m rank deaths (requires the CheckedComm
-//     capability); coding composes with WithAsyncWindow;
+//     capability); coding composes with WithAsyncWindow and
+//     WithAdaptiveWindow;
 //   - WithRecorder(rec) observes the run with a specific recorder.
+//
+// On a streamed run over a Comm with checked messaging, the halo
+// prefix exchange streams in chunks too (the exch.HaloSizes schedule),
+// so both communication phases hide behind compute.
 //
 // A cancelled context stops this rank before its next local phase; it
 // does not interrupt a collective already in flight (the transport's
@@ -241,6 +249,16 @@ func payloadBytes(data any) int64 {
 // fail with their own deadline faults.
 func (pl *Plan) RunDistributed(ctx context.Context, c Comm, localOut, localIn []complex128, opts ...DistOption) (DistributedTimes, error) {
 	cfg := pl.resolveDistOptions(opts)
+	// Capabilities are discovered on the unwrapped Comm (the counting
+	// wrapper forwards them blindly).
+	if _, ok := c.(CheckedComm); ok {
+		cfg.haloChecked = true
+	}
+	if cfg.adaptive && cfg.window == 0 {
+		if _, ok := c.(StreamComm); ok {
+			cfg.window = pl.adaptiveWindow(c.Rank(), c.Size()).Window
+		}
+	}
 	if cfg.coded {
 		return pl.runCoded(ctx, c, cfg, localOut, localIn)
 	}
@@ -320,10 +338,12 @@ type distExec struct {
 	rank, r           int
 	workers           int
 	nLocal            int
-	bpr               int // convolution blocks per rank
-	spr               int // segments per rank
-	chunk             int // elements per destination in the exchange (bpr·spr)
-	window            int // streamed-exchange in-flight window (0 = blocking)
+	bpr               int  // convolution blocks per rank
+	spr               int  // segments per rank
+	chunk             int  // elements per destination in the exchange (bpr·spr)
+	window            int  // streamed-exchange in-flight window (0 = blocking)
+	adaptive          bool // window chosen by the plan's controller; observe after the run
+	haloChecked       bool // stream the halo through checked chunked sends
 	tr                *trace.Tracer
 	tid               trace.ID
 	tele              *telemetry.Plane
@@ -355,9 +375,11 @@ func (pl *Plan) newDistExec(ctx context.Context, cfg distOptions, c Comm, localO
 	e := &distExec{
 		pl: pl, c: c, rec: cfg.rec, rank: c.Rank(), r: r, workers: workers, nLocal: nLocal,
 		bpr: pl.mp / r, spr: p.P / r, chunk: (pl.mp / r) * (p.P / r),
-		window: cfg.window,
-		tele:   cfg.tele,
-		timed:  cfg.rec.Timing(),
+		window:      cfg.window,
+		adaptive:    cfg.adaptive && cfg.window > 0,
+		haloChecked: cfg.haloChecked,
+		tele:        cfg.tele,
+		timed:       cfg.rec.Timing(),
 	}
 	e.tr, e.tid = pl.tracerFor(ctx)
 	return e, nil

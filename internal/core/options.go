@@ -30,11 +30,16 @@ type StreamComm interface {
 type DistOption func(*distOptions)
 
 type distOptions struct {
-	coded  bool
-	parity int
-	window int
-	rec    *instrument.Recorder
-	tele   *telemetry.Plane
+	coded    bool
+	parity   int
+	window   int
+	adaptive bool
+	// haloChecked is derived, not an option: the run drivers set it when
+	// the unwrapped Comm has the CheckedComm capability, enabling the
+	// chunk-streamed halo on the streamed path.
+	haloChecked bool
+	rec         *instrument.Recorder
+	tele        *telemetry.Plane
 }
 
 // resolveDistOptions folds the options over the plan's defaults.
@@ -71,6 +76,21 @@ func WithAsyncWindow(w int) DistOption {
 		}
 		o.window = w
 	}
+}
+
+// WithAdaptiveWindow lets the plan's closed-loop controller pick the
+// streamed exchange's window instead of a fixed WithAsyncWindow(w): the
+// first transform runs at the model prior (SetWindowPrior, or the
+// adapt.DefaultWindow without one), and between transforms the
+// controller adapts from the measured overlap ratio, credit-stall share
+// and wire/compute ratio, with hysteresis so a noisy link doesn't
+// thrash the schedule. Requires the StreamComm capability (falls back
+// to the blocking exchange without it, like WithAsyncWindow); an
+// explicit WithAsyncWindow(w > 0) in the same run overrides the
+// controller. Composes with WithCoding. Results remain bit-identical to
+// the blocking exchange at every chosen window.
+func WithAdaptiveWindow() DistOption {
+	return func(o *distOptions) { o.adaptive = true }
 }
 
 // WithRecorder observes this run with rec instead of the plan's own

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"soifft/internal/adapt"
 	"soifft/internal/exch"
 	"soifft/internal/instrument"
 )
@@ -30,8 +31,21 @@ import (
 // tileBounds splits this rank's bpr convolution blocks into T tiles,
 // T = min(bpr, max(4, 2·window)): enough tiles to keep the window busy,
 // never more than one block each. bounds has T+1 entries.
+//
+// The schedule must come out identical on every rank — receivers size
+// the expected chunks from their own bounds. A fixed WithAsyncWindow(w)
+// is rank-invariant by construction; under the adaptive controller the
+// per-rank windows diverge between transforms, so the schedule is
+// pinned to the controller's rank-invariant ceiling (the world size)
+// and the live window steers only the per-destination credit depth.
 func (e *distExec) tileBounds() []int {
-	T := 2 * e.window
+	w := e.window
+	if e.adaptive {
+		if w = e.r; w < 2 {
+			w = 2
+		}
+	}
+	T := 2 * w
 	if T < 4 {
 		T = 4
 	}
@@ -57,6 +71,7 @@ func (e *distExec) runStreamed(ctx context.Context, localOut, localIn []complex1
 	st := e.c.(StreamComm).StartAlltoallv(exch.Options{Sizes: sizes, Window: e.window})
 	defer st.Close()
 
+	e.tr.Counter(e.tid, e.rank, "adaptive_window", int64(e.window))
 	streamStart := time.Now()
 
 	// Phase-4 input in column-major (segment-major) layout: segment ss's
@@ -85,10 +100,12 @@ func (e *distExec) runStreamed(ctx context.Context, localOut, localIn []complex1
 	cerr := <-consErr
 	e.tr.End(e.tid, e.rank, instrument.StageExchange.String())
 	e.dt.Exchange = sendWait + time.Since(prodDone)
-	if e.timed {
-		if hidden := time.Since(streamStart) - e.dt.Exchange; hidden > 0 {
-			e.rec.AddHiddenExchange(hidden)
-		}
+	hidden := time.Since(streamStart) - e.dt.Exchange
+	if hidden < 0 {
+		hidden = 0
+	}
+	if e.timed && hidden > 0 {
+		e.rec.AddHiddenExchange(hidden)
 	}
 
 	if perr != nil {
@@ -99,6 +116,9 @@ func (e *distExec) runStreamed(ctx context.Context, localOut, localIn []complex1
 	}
 	if err := ctx.Err(); err != nil {
 		return err
+	}
+	if e.adaptive {
+		e.observeAdaptive(hidden, sendWait)
 	}
 
 	t0 := time.Now()
@@ -130,14 +150,25 @@ func (e *distExec) produceStream(ctx context.Context, st exch.Stream, bounds []i
 	ext := make([]complex128, e.nLocal+halo)
 	copy(ext, localIn)
 	depth := 0
+	var hs *haloStream
 	if r > 1 {
-		for d := 1; (d-1)*e.nLocal < halo; d++ {
-			need := halo - (d-1)*e.nLocal
-			if need > e.nLocal {
-				need = e.nLocal
+		if e.haloChecked {
+			var herr error
+			hs, herr = e.startHaloStream(localIn, ext)
+			if herr != nil {
+				e.dt.Halo += time.Since(t0)
+				e.tr.End(e.tid, rank, instrument.StageHalo.String())
+				return nil, 0, herr
 			}
-			e.c.Send((rank-d+r*d)%r, tagHalo+d, localIn[:need])
-			depth = d
+		} else {
+			for d := 1; (d-1)*e.nLocal < halo; d++ {
+				need := halo - (d-1)*e.nLocal
+				if need > e.nLocal {
+					need = e.nLocal
+				}
+				e.c.Send((rank-d+r*d)%r, tagHalo+d, localIn[:need])
+				depth = d
+			}
 		}
 	}
 	e.dt.Halo += time.Since(t0)
@@ -169,9 +200,16 @@ func (e *distExec) produceStream(ctx context.Context, st exch.Stream, bounds []i
 		if !haveHalo && jLo+hi > jMid {
 			t0 = time.Now()
 			e.tr.Begin(e.tid, rank, instrument.StageHalo.String())
-			if r == 1 {
+			switch {
+			case r == 1:
 				copy(ext[e.nLocal:], localIn[:halo])
-			} else {
+			case hs != nil:
+				if herr := hs.wait(); herr != nil {
+					e.dt.Halo += time.Since(t0)
+					e.tr.End(e.tid, rank, instrument.StageHalo.String())
+					return send, sendWait, herr
+				}
+			default:
 				for d := 1; d <= depth; d++ {
 					data := e.c.RecvC((rank+d)%r, tagHalo+d)
 					copy(ext[e.nLocal+(d-1)*e.nLocal:], data)
@@ -265,6 +303,34 @@ func (e *distExec) consumeStream(st exch.Stream, bounds []int, xcol []complex128
 				xcol[ss*mp+c.Src*e.bpr+j] = val
 			}
 		}
+	}
+}
+
+// observeAdaptive feeds this run's measured overlap back to the plan's
+// window controller so the next transform starts at the adapted window.
+// Called only on successful streamed runs whose window the controller
+// chose (never for an explicit WithAsyncWindow); the decision is traced
+// with bounded-cardinality names so long campaigns don't grow the
+// tracer's interned-name table.
+func (e *distExec) observeAdaptive(hidden, sendWait time.Duration) {
+	visible := e.dt.Exchange
+	m := adapt.Measurement{Window: e.window}
+	if total := hidden + visible; total > 0 {
+		m.OverlapRatio = float64(hidden) / float64(total)
+	}
+	if visible > 0 {
+		m.StallShare = float64(sendWait) / float64(visible)
+		if m.StallShare > 1 {
+			m.StallShare = 1
+		}
+	}
+	if e.dt.Convolve > 0 {
+		m.WireComputeRatio = float64(hidden+visible) / float64(e.dt.Convolve)
+	}
+	d := e.pl.adaptObserve(e.rank, m)
+	e.tr.Counter(e.tid, e.rank, "adaptive_window", int64(d.Window))
+	if d.Changed {
+		e.tr.ChunkInstant(e.tid, e.rank, "adaptive_decision", d.Window)
 	}
 }
 

@@ -29,6 +29,56 @@ const TagBase = -2000
 // Tag returns the wire tag of chunk index idx.
 func Tag(idx int) int { return TagBase - idx }
 
+// The halo exchange streams through the same chunk-schedule idea as the
+// all-to-all, but over the transports' ordinary (positive-tag) mailboxes:
+// the neighbour prefix to depth d is split into HaloSizes chunks, each
+// sent checked with HaloTag(d, i), and the boundary tiles of the
+// streamed producer wait only for the residual chunks still in flight.
+// Per link the chunks are the only ordinary-tag traffic during the
+// produce loop, so both transports' FIFO pop order matches the send
+// order, and any coded-exchange parity frames queue strictly behind the
+// last chunk.
+
+// MaxHaloChunks caps the chunk schedule per neighbour link.
+const MaxHaloChunks = 8
+
+// minHaloChunkElems floors the chunk size at 16 Ki complex elements
+// (one 256 KiB frame, the transports' I/O chunk), so a modest halo
+// travels as the single frame the blocking swap would send — per-frame
+// costs (headers, shaper pacing, syscalls) are amortized exactly as
+// before — and only a halo big enough to be worth overlapping splits.
+const minHaloChunkElems = 16384
+
+// HaloTagBase is the bottom of the positive halo-stream band, above the
+// blocking halo tags (100+d, d < world size).
+const HaloTagBase = 200
+
+// HaloTag returns the wire tag of halo chunk i to neighbour depth d
+// (d ≥ 1, i < MaxHaloChunks).
+func HaloTag(d, i int) int { return HaloTagBase + d*MaxHaloChunks + i }
+
+// HaloSizes splits a halo prefix of total elements into the chunk
+// schedule — near-equal chunks, at most MaxHaloChunks, none smaller
+// than minHaloChunkElems (except the sole chunk of a tiny halo). Both
+// ends derive it independently from total alone.
+func HaloSizes(total int) []int {
+	if total <= 0 {
+		return nil
+	}
+	n := (total + minHaloChunkElems - 1) / minHaloChunkElems
+	if n > MaxHaloChunks {
+		n = MaxHaloChunks
+	}
+	sizes := make([]int, n)
+	lo := 0
+	for i := range sizes {
+		hi := (i + 1) * total / n
+		sizes[i] = hi - lo
+		lo = hi
+	}
+	return sizes
+}
+
 // Chunk is one delivered piece of a streamed all-to-all: chunk Index of
 // source rank Src's contribution to this rank, or — when Err is non-nil
 // — the typed failure that ended Src's stream (Data is nil then, and no

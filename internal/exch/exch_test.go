@@ -267,3 +267,55 @@ func TestTrackerArithmetic(t *testing.T) {
 		t.Fatalf("consumed %d events, want 4", seen)
 	}
 }
+
+func TestHaloSizes(t *testing.T) {
+	cases := []struct {
+		total   int
+		wantLen int
+	}{
+		{0, 0},
+		{-5, 0},
+		{1, 1},                   // tiny halo: one chunk, even below the floor
+		{376, 1},                 // the B=48, P=8 test halo: single frame
+		{4088, 1},                // a typical production halo: still one frame
+		{16384, 1},               // exactly the floor
+		{16385, 2},               // just over: two chunks
+		{1 << 17, MaxHaloChunks}, // 128 Ki elements: exactly at the cap
+		{1 << 20, MaxHaloChunks}, // huge halo capped at the schedule limit
+	}
+	for _, tc := range cases {
+		sizes := HaloSizes(tc.total)
+		if len(sizes) != tc.wantLen {
+			t.Errorf("HaloSizes(%d) has %d chunks, want %d", tc.total, len(sizes), tc.wantLen)
+			continue
+		}
+		sum := 0
+		for i, s := range sizes {
+			if s <= 0 {
+				t.Errorf("HaloSizes(%d)[%d] = %d, want positive", tc.total, i, s)
+			}
+			sum += s
+		}
+		if tc.total > 0 && sum != tc.total {
+			t.Errorf("HaloSizes(%d) sums to %d", tc.total, sum)
+		}
+	}
+}
+
+func TestHaloTagBand(t *testing.T) {
+	// The halo-stream band must stay positive (ordinary mailboxes) and
+	// collision-free across (depth, chunk) pairs.
+	seen := map[int]bool{}
+	for d := 1; d <= 16; d++ {
+		for i := 0; i < MaxHaloChunks; i++ {
+			tag := HaloTag(d, i)
+			if tag <= HaloTagBase-1 {
+				t.Fatalf("HaloTag(%d, %d) = %d below the band", d, i, tag)
+			}
+			if seen[tag] {
+				t.Fatalf("HaloTag(%d, %d) = %d collides", d, i, tag)
+			}
+			seen[tag] = true
+		}
+	}
+}

@@ -1,0 +1,173 @@
+// Adaptive-window e2e: the closed-loop controller on a real TCP mesh
+// with faultnet supplying the wire cost. This is the PR's acceptance
+// run: on a throttled mesh where the wire outlasts compute by ~1.5×,
+// a burst of adaptive transforms must settle within ±1 of the best
+// fixed window found by a sweep, with spectra bit-identical to the
+// blocking exchange and the chosen window visible in the decision API
+// and the trace.
+package mpinet
+
+import (
+	"context"
+	"encoding/json"
+	"net"
+	"os"
+	"testing"
+	"time"
+
+	"soifft/internal/core"
+	"soifft/internal/faultnet"
+	"soifft/internal/fft"
+	"soifft/internal/signal"
+	"soifft/internal/trace"
+)
+
+func TestAdaptiveWindowConvergesOnThrottledLink(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock convergence measurement")
+	}
+	// Same shape as the overlap acceptance: two ranks keep scheduler
+	// noise down, Workers=1 and a deep filter make convolution the
+	// stage the stream hides wire behind. The window range is still
+	// meaningful — HaloSizes plus per-destination credits give windows
+	// 1..R distinct schedules even at R=2.
+	const n, ranks = 1 << 18, 2
+	const transforms = 4
+	pl, err := core.NewPlan(core.Params{N: n, P: 8, Mu: 5, Nu: 4, B: 512, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := signal.Random(n, 97)
+	want, err := fft.Forward(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Pass 1, clean mesh: calibrate the throttle so one rank's exchange
+	// payload takes ~1.5 clean walls on the wire — the wire-bound regime
+	// the controller exists for.
+	clean := mesh(t, ranks)
+	refOut, _, cleanWall := runAsyncTimed(t, clean, pl, src, 30*time.Second)
+	if e := signal.RelErrL2(refOut, want); e > 1e-8 {
+		t.Fatalf("clean run wrong: rel err %.3e", e)
+	}
+	const wireComputeRatio = 1.5
+	nPrime := n / 4 * 5
+	perLinkBytes := int64(nPrime) * 16 / int64(ranks*ranks)
+	plan := faultnet.Plan{Seed: 3, BandwidthBps: float64(perLinkBytes) / (wireComputeRatio * cleanWall.Seconds())}
+	throttled := func() []*Proc {
+		return chaosMesh(t, ranks, 60*time.Second, func(self, peer int, c net.Conn) net.Conn {
+			return plan.Conn(c, faultnet.LinkID(self, peer))
+		})
+	}
+
+	// Fixed-window sweep on identically throttled meshes: the reference
+	// the controller is judged against.
+	bestWindow, bestWall := 0, time.Duration(0)
+	sweepWalls := make(map[int]time.Duration, ranks)
+	var blockOut []complex128
+	for w := 1; w <= ranks; w++ {
+		out, _, wall := runAsyncTimed(t, throttled(), pl, src, 90*time.Second, core.WithAsyncWindow(w))
+		sweepWalls[w] = wall
+		if blockOut == nil {
+			blockOut = out
+		} else if e := signal.MaxAbsErr(out, blockOut); e != 0 {
+			t.Fatalf("window %d spectrum differs by %.3e (must be bit-identical)", w, e)
+		}
+		if bestWindow == 0 || wall < bestWall {
+			bestWindow, bestWall = w, wall
+		}
+		t.Logf("fixed window %d: wall %v", w, wall)
+	}
+
+	// Adaptive burst: the first transform runs at the model prior (the
+	// ratio the throttle was built to), the rest steer on measured
+	// overlap and credit-stall. One mesh for the whole burst, the way a
+	// long-lived soinode job would run it.
+	pl.SetWindowPrior(wireComputeRatio)
+	tr := trace.New(0)
+	ctx := trace.WithTracer(trace.WithID(context.Background(), trace.NewID()), tr)
+	procs := throttled()
+	nLocal := n / ranks
+	got := make([]complex128, n)
+	errs, _ := runRanks(t, procs, time.Duration(transforms)*90*time.Second, func(p *Proc) error {
+		rank := p.Rank()
+		for i := 0; i < transforms; i++ {
+			if _, err := pl.RunDistributed(ctx, p,
+				got[rank*nLocal:(rank+1)*nLocal], src[rank*nLocal:(rank+1)*nLocal],
+				core.WithAdaptiveWindow()); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+	if e := signal.MaxAbsErr(got, blockOut); e != 0 {
+		t.Fatalf("adaptive spectrum differs from fixed-window by %.3e (must be bit-identical)", e)
+	}
+
+	// Convergence: every rank's settled window within ±1 of the sweep's
+	// best, and the decision exposed through the plan API.
+	chosen := make(map[int]int, ranks)
+	for r := 0; r < ranks; r++ {
+		d, ok := pl.AdaptiveDecision(r)
+		if !ok {
+			t.Fatalf("rank %d: no adaptive decision recorded", r)
+		}
+		chosen[r] = d.Window
+		t.Logf("rank %d settled: %s", r, d)
+		if diff := d.Window - bestWindow; diff < -1 || diff > 1 {
+			t.Errorf("rank %d settled at window %d, best fixed window is %d (want within ±1)",
+				r, d.Window, bestWindow)
+		}
+	}
+
+	// The chosen window must be on the trace: an adaptive_window counter
+	// per transform per rank, matching the settled value at the end.
+	counters, decisions := 0, 0
+	var lastCounter int64 = -1
+	for _, ev := range tr.Snapshot() {
+		switch ev.Name {
+		case "adaptive_window":
+			counters++
+			if ev.Rank == 0 {
+				lastCounter = ev.Arg
+			}
+		case "adaptive_decision":
+			decisions++
+		}
+	}
+	if counters < transforms*ranks {
+		t.Errorf("trace has %d adaptive_window counters, want at least %d", counters, transforms*ranks)
+	}
+	if lastCounter != int64(chosen[0]) {
+		t.Errorf("last traced window %d != settled window %d", lastCounter, chosen[0])
+	}
+	t.Logf("trace: %d adaptive_window counters, %d decision instants", counters, decisions)
+
+	// CI artifact: the convergence record next to the sweep it beat.
+	if path := os.Getenv("ADAPTIVE_JSON"); path != "" {
+		rec := struct {
+			ModelPrior  float64       `json:"model_prior_ratio"`
+			BestWindow  int           `json:"best_fixed_window"`
+			SweepWallNs map[int]int64 `json:"sweep_wall_ns"`
+			Chosen      map[int]int   `json:"chosen_window_by_rank"`
+			Transforms  int           `json:"transforms"`
+		}{wireComputeRatio, bestWindow, map[int]int64{}, chosen, transforms}
+		for w, wall := range sweepWalls {
+			rec.SweepWallNs[w] = wall.Nanoseconds()
+		}
+		b, err := json.MarshalIndent(rec, "", "  ")
+		if err != nil {
+			t.Fatalf("marshal convergence record: %v", err)
+		}
+		if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+			t.Fatalf("write %s: %v", path, err)
+		}
+		t.Logf("convergence record written to %s", path)
+	}
+}

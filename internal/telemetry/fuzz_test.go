@@ -1,0 +1,52 @@
+package telemetry
+
+import "testing"
+
+// FuzzUnpackFrame hammers the raw-byte frame parser with hostile input.
+// Where FuzzStatFrameRoundTrip checks re-encode stability, this harness
+// pins the parser's acceptance guarantees: every frame UnpackBytes lets
+// through has its rank inside its world, a link table within the
+// declared bound, and decodes identically through the []complex128 wire
+// path — the payload shape the transports actually move — so a frame a
+// TCP peer accepts is the frame the in-process transport would deliver.
+func FuzzUnpackFrame(f *testing.F) {
+	good := sampleFrame().PackBytes()
+	f.Add(good)
+	f.Add([]byte{})
+	f.Add(good[:len(good)-5]) // truncated tail
+	for _, mut := range []struct {
+		off int
+		val byte
+	}{
+		{0, 0xFF},  // magic
+		{4, 99},    // version
+		{12, 0xFF}, // rank
+		{16, 0xFF}, // world
+	} {
+		b := append([]byte(nil), good...)
+		b[mut.off] = mut.val
+		f.Add(b)
+	}
+	f.Fuzz(func(t *testing.T, b []byte) {
+		sf, err := UnpackBytes(b) // must never panic
+		if err != nil {
+			return
+		}
+		if sf.World <= 0 || sf.Rank < 0 || sf.Rank >= sf.World {
+			t.Fatalf("accepted frame with rank %d outside world %d", sf.Rank, sf.World)
+		}
+		if len(sf.Links) > maxLinks {
+			t.Fatalf("accepted frame with %d links (limit %d)", len(sf.Links), maxLinks)
+		}
+		// The complex128 path pads the byte image to 16-byte words; a
+		// re-encoded frame must survive it bit-exactly.
+		again, err := Unpack(sf.Pack())
+		if err != nil {
+			t.Fatalf("complex wire path rejected a re-encoded frame: %v", err)
+		}
+		if again.Rank != sf.Rank || again.World != sf.World || again.Seq != sf.Seq ||
+			len(again.Links) != len(sf.Links) {
+			t.Fatalf("complex wire path drifted: %+v vs %+v", again, sf)
+		}
+	})
+}
